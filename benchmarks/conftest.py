@@ -1,0 +1,45 @@
+"""Shared fixtures for the reproduction benches.
+
+Each bench runs one paper artifact's scenario once (``pedantic`` with a
+single round — these are experiments, not microbenchmarks), prints the
+paper-style rows, writes them to ``benchmarks/out/<artifact>.txt`` and
+asserts the qualitative shape against the digitized paper anchors.
+
+Scale: ``REPRO_SCALE=paper pytest benchmarks/ --benchmark-only`` runs the
+published populations; the default ``fast`` scale preserves shapes at a
+fraction of the runtime.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.scale import get_scale
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return get_scale()
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Print a report block and persist it under benchmarks/out/."""
+    OUT_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        print(text)
+        (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _emit
+
+
+@pytest.fixture(scope="session")
+def shared_cache():
+    """Session cache so artifact pairs measured by one scenario run
+    (Figs. 6+7, Figs. 10+11) don't recompute the heavy simulation."""
+    return {}

@@ -1,0 +1,65 @@
+"""Ablation — HyParView expansion factor (§II-A).
+
+The expansion factor damps the eviction chain reactions of bootstrap
+joins: with factor 1 every join into a full view evicts somebody, whose
+replacement evicts somebody else, and so on.  Factor 2 absorbs joins into
+the slack.  Measured: eviction (Disconnect) traffic and the degree
+spread, plus the §II-A claim that "the impact on the actual view sizes is
+limited" (Fig. 7's small tail above the target size).
+"""
+
+from repro.config import HyParViewConfig, StreamConfig
+from repro.experiments.common import build_brisa_testbed
+from repro.experiments.report import banner, table
+from repro.metrics.stats import CDF
+
+
+def run_factor(factor, scale, seed=33):
+    hpv = HyParViewConfig(active_size=4, expansion_factor=factor)
+    n = max(48, scale.cluster_nodes // 2)
+    bed = build_brisa_testbed(n, seed=seed, hpv_config=hpv)
+    source = bed.choose_source()
+    result = bed.run_stream(source, StreamConfig(count=20, rate=5.0, payload_bytes=256))
+    disconnects = sum(bed.metrics.msg_counts.get("hpv_disconnect", {}).values())
+    degrees = CDF.of(float(len(x.active)) for x in bed.alive_nodes())
+    return {
+        "disconnects": disconnects,
+        "degrees": degrees,
+        "delivered": result.delivered_fraction(),
+        "n": n,
+    }
+
+
+def test_ablation_expansion_factor(benchmark, scale, emit):
+    results = benchmark.pedantic(
+        lambda: {f: run_factor(f, scale) for f in (1.0, 2.0)},
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for factor, r in results.items():
+        s = r["degrees"].summary()
+        rows.append(
+            [f"factor {factor:g}", r["disconnects"], s["median"], s["p90"],
+             s["max"], f"{r['delivered'] * 100:.1f}%"]
+        )
+    text = banner("Ablation — expansion factor (§II-A join-storm damping)") + "\n"
+    text += table(
+        ["config", "evictions (Disconnects)", "median degree", "p90 degree",
+         "max degree", "delivered"],
+        rows,
+    )
+    emit("ablation_expansion_factor", text)
+
+    # Factor 2 absorbs join storms: substantially fewer eviction chains.
+    # (The margin shrank once eviction-for-insertion stopped triggering
+    # replacements — that fix damps factor-1 chains too.)
+    assert results[2.0]["disconnects"] < results[1.0]["disconnects"] * 0.75
+    # The headroom is used (degrees spread between target and 2x target —
+    # exactly the 4..8 spread the paper's own Fig. 7 shows for view 4)
+    # but never exceeded.
+    assert results[2.0]["degrees"].max <= 8
+    assert results[1.0]["degrees"].max <= 4
+    # Both configurations still disseminate completely.
+    for r in results.values():
+        assert r["delivered"] == 1.0

@@ -1,0 +1,37 @@
+"""Fig. 2 — CDF of duplicates per node under flooding, view 4/6/8/10.
+
+Paper anchor: with 500 messages on 512 nodes, half of the nodes see more
+than 1 duplicate *per message* at view 4 and more than 7 at view 10 (the
+figure's x-axis is duplicates per message).
+"""
+
+from repro.experiments.paperdata import FIG2_MEDIAN_DUPLICATES
+from repro.experiments.report import banner, cdf_rows
+from repro.experiments.scenarios import fig2_duplicates
+from repro.metrics.stats import CDF
+
+
+def test_fig02_duplicates(benchmark, scale, emit):
+    result = benchmark.pedantic(
+        lambda: fig2_duplicates(scale), rounds=1, iterations=1
+    )
+    # Normalize totals to duplicates-per-message (the figure's unit).
+    per_message = {
+        f"view size = {v}": CDF.of(x / result.messages for x in cdf.values)
+        for v, cdf in sorted(result.by_view.items())
+    }
+    text = banner(
+        f"Fig. 2 — duplicates per message per node "
+        f"({result.nodes} nodes, {result.messages} msgs, flooding)"
+    ) + "\n" + cdf_rows(per_message)
+    emit("fig02_duplicates", text)
+
+    # Shape: duplicates grow monotonically with the view size...
+    medians = [per_message[f"view size = {v}"].median for v in sorted(result.by_view)]
+    assert all(a <= b * 1.05 for a, b in zip(medians, medians[1:])), medians
+    # ...and the view-10 median is several times the view-4 median
+    # (paper: >1 at view 4 vs >7 at view 10).
+    assert medians[-1] > medians[0] * 1.8
+    # Flooding keeps producing duplicates for the typical node (a rare
+    # degree-1 node may legitimately see none).
+    assert per_message["view size = 4"].mean >= 0.5

@@ -1,0 +1,53 @@
+"""Fig. 12 — stabilization + dissemination bandwidth, four protocols.
+
+Paper anchors: SimpleTree's management cost is the smallest (one round
+trip with the coordinator); BRISA and TAG are comparable, paying a small
+PSS/structure overhead over SimpleTree; SimpleGossip is competitive at
+tiny payloads but blows up at 10–20 KB because of its duplicate factor.
+"""
+
+from repro.experiments.paperdata import FIG12_ORDER_AT_20KB
+from repro.experiments.report import banner, table
+from repro.experiments.scenarios import fig12_bandwidth_comparison
+from repro.sim.monitor import DISSEMINATION, STABILIZATION
+
+PAYLOADS = (0, 1, 10, 20)
+
+
+def test_fig12_bandwidth_comparison(benchmark, scale, emit):
+    result = benchmark.pedantic(
+        lambda: fig12_bandwidth_comparison(scale, payload_kb=PAYLOADS),
+        rounds=1,
+        iterations=1,
+    )
+    headers = ["protocol"] + [
+        f"{kb} KB stab/diss/total (MB)" for kb in PAYLOADS
+    ]
+    rows = []
+    for proto, per_payload in result.data.items():
+        cells = [proto]
+        for kb in PAYLOADS:
+            d = per_payload[kb]
+            cells.append(
+                f"{d[STABILIZATION]:.3f}/{d[DISSEMINATION]:.3f}/"
+                f"{d[STABILIZATION] + d[DISSEMINATION]:.3f}"
+            )
+        rows.append(cells)
+    text = banner(
+        f"Fig. 12 — data transmitted per node ({result.nodes} nodes)"
+    ) + "\n" + table(headers, rows)
+    emit("fig12_bandwidth_comparison", text)
+
+    # SimpleTree has the cheapest management (empty payload column).
+    assert result.total("SimpleTree", 0) <= result.total("BRISA", 0)
+    assert result.total("SimpleTree", 0) <= result.total("TAG", 0)
+    # BRISA and TAG are comparable (within ~2x of each other).
+    assert result.total("BRISA", 10) < result.total("TAG", 10) * 2.0
+    assert result.total("TAG", 10) < result.total("BRISA", 10) * 2.0
+    # SimpleGossip's duplicates dominate at large payloads: the paper's
+    # ordering at 20 KB has it most expensive by a wide margin.
+    totals = {p: result.total(p, 20) for p in result.data}
+    ranked = sorted(totals, key=totals.get)
+    assert ranked[0] == FIG12_ORDER_AT_20KB[0] == "SimpleTree"
+    assert ranked[-1] == FIG12_ORDER_AT_20KB[-1] == "SimpleGossip"
+    assert totals["SimpleGossip"] > totals["BRISA"] * 2.0

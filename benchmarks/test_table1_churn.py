@@ -1,0 +1,63 @@
+"""Table I — impact of churn on BRISA trees vs 2-parent DAGs.
+
+Paper anchors (active view 4, 3%/5% churn per minute, Listing 1):
+- DAGs lose parents at a *higher* rate than trees (more parents to lose)
+  but orphan far more rarely (a single surviving parent keeps service);
+- soft repairs dominate everywhere (87–94% in the paper);
+- every tree parent loss is an orphan event (one parent per node).
+"""
+
+from repro.experiments.paperdata import (
+    TABLE1,
+    TABLE1_DAG_ORPHAN_REDUCTION_MIN,
+    TABLE1_SOFT_REPAIR_MIN,
+)
+from repro.experiments.report import banner, table
+from repro.experiments.scenarios import table1_churn
+
+
+def test_table1_churn(benchmark, scale, emit):
+    result = benchmark.pedantic(
+        lambda: table1_churn(scale), rounds=1, iterations=1
+    )
+    headers = [
+        "nodes", "churn", "structure",
+        "parents lost/min", "orphans/min", "% soft", "% hard",
+        "paper lost/min", "paper orphans/min", "paper % soft",
+    ]
+    rows = []
+    for (n, pct, mode), row in sorted(result.rows.items()):
+        paper_key = (512 if n >= 256 else 128, pct, mode)
+        paper = TABLE1.get(paper_key, ("-", "-", "-", "-"))
+        rows.append(
+            [
+                n, f"{pct:g}%", mode,
+                row.parents_lost_per_min, row.orphans_per_min,
+                row.soft_repair_pct, row.hard_repair_pct,
+                paper[0], paper[1], paper[2],
+            ]
+        )
+    text = banner(
+        f"Table I — impact of churn (view 4, {result.churn_window:.0f}s windows)"
+    ) + "\n" + table(headers, rows)
+    emit("table1_churn", text)
+
+    for n in {k[0] for k in result.rows}:
+        for pct in {k[1] for k in result.rows}:
+            tree = result.rows[(n, pct, "tree")]
+            dag = result.rows[(n, pct, "dag")]
+            assert tree.kills > 0 and dag.kills > 0, "churn never applied"
+            # Trees: every parent loss is a disconnection.
+            assert tree.orphans_per_min >= tree.parents_lost_per_min * 0.9
+            # DAGs lose parents more often but orphan much more rarely.
+            assert dag.parents_lost_per_min >= tree.parents_lost_per_min * 0.9
+            if tree.orphans_per_min > 0:
+                assert (
+                    dag.orphans_per_min
+                    <= tree.orphans_per_min / TABLE1_DAG_ORPHAN_REDUCTION_MIN
+                    or dag.orphans_per_min < 0.5
+                )
+            # Soft repairs dominate (paper: 79-94%).
+            total_repairs = tree.soft_repair_pct + tree.hard_repair_pct
+            if total_repairs:
+                assert tree.soft_repair_pct >= TABLE1_SOFT_REPAIR_MIN

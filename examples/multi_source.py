@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Multiple trees over one overlay (§IV *Multiple Trees and Multiple
+Parents*).
+
+BRISA keys all per-stream state by stream id, so several publishers can
+emerge independent dissemination trees over a single HyParView overlay
+"with little to no overhead to support multiple trees/sources": the
+overlay is shared, only the per-stream activation state multiplies.
+
+Run:  python examples/multi_source.py
+"""
+
+from repro.config import StreamConfig
+from repro.core.structure import extract_structure, is_complete_structure, out_degrees
+from repro.experiments.common import build_brisa_testbed
+from repro.experiments.report import banner, table
+
+N = 64
+SOURCES = 4
+MESSAGES = 60
+
+
+def main() -> None:
+    bed = build_brisa_testbed(N, seed=17)
+    nodes = bed.alive_nodes()
+    publishers = nodes[:SOURCES]
+
+    for i, publisher in enumerate(publishers):
+        bed.start_stream(
+            publisher,
+            StreamConfig(count=MESSAGES, rate=5.0, payload_bytes=512, stream_id=i),
+        )
+    bed.sim.run(until=bed.sim.now + MESSAGES / 5.0 + 20.0)
+
+    print(banner(f"{SOURCES} publishers, one overlay — independent trees"))
+    rows = []
+    interior_sets = []
+    for i, publisher in enumerate(publishers):
+        g = extract_structure(bed.alive_nodes(), stream=i)
+        ok, reason = is_complete_structure(
+            g, publisher.node_id, set(bed.alive_ids())
+        )
+        interior = {n for n, d in out_degrees(g).items() if d > 0}
+        interior_sets.append(interior)
+        rows.append([
+            f"stream {i} (source {publisher.node_id})",
+            "complete/acyclic" if ok else reason,
+            g.number_of_edges(),
+            len(interior),
+        ])
+    print(table(["stream", "invariant", "edges", "interior nodes"], rows))
+
+    # The trees differ: a node that is interior in one tree is often a
+    # leaf in another (SplitStream's load-balancing goal, §IV).
+    union = set().union(*interior_sets)
+    always_interior = set.intersection(*interior_sets)
+    print(f"\nnodes interior in at least one tree: {len(union)}/{N}")
+    print(f"nodes interior in every tree: {len(always_interior)}")
+    print("The relay load spreads across the population because every "
+          "stream emerges its own structure from its own flood.")
+
+
+if __name__ == "__main__":
+    main()

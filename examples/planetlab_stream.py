@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Wide-area media stream: parent-selection strategies on PlanetLab.
+
+A 60-node stream on the synthetic PlanetLab substrate, comparing the
+first-come and delay-aware strategies (§II-E) plus the §IV perspectives
+(gerontocratic / load-balancing / heterogeneity-aware).  Prints per-node
+routing-delay summaries and what each strategy optimized for.
+
+Run:  python examples/planetlab_stream.py
+"""
+
+from repro.config import BrisaConfig, HyParViewConfig, StreamConfig
+from repro.core.structure import extract_structure, tree_depths
+from repro.experiments.common import build_brisa_testbed
+from repro.experiments.report import banner, cdf_rows
+from repro.metrics.stats import CDF
+from repro.sim.latency import PlanetLabLatency
+
+N = 60
+STRATEGIES = (
+    "first-come",
+    "delay-aware",
+    "gerontocratic",
+    "load-balancing",
+    "heterogeneity",
+)
+
+
+def run(strategy: str, seed: int = 24):
+    bed = build_brisa_testbed(
+        N,
+        seed=seed,
+        config=BrisaConfig(strategy=strategy),
+        hpv_config=HyParViewConfig(active_size=4),
+        latency=PlanetLabLatency(seed=seed),
+    )
+    source = bed.choose_source()
+    stream = StreamConfig(count=100, rate=5.0, payload_bytes=1024)
+    bed.run_stream(source, stream, drain=30.0)
+    delays = [
+        rec.path_delay
+        for seq in range(stream.count)
+        for nid, rec in bed.metrics.deliveries.get((0, seq), {}).items()
+        if nid != source.node_id
+    ]
+    g = extract_structure(bed.alive_nodes(), 0)
+    depth = tree_depths(g, source.node_id)
+    max_depth = max(depth.values()) if depth else 0
+    return CDF.of(delays), max_depth
+
+
+def main() -> None:
+    print(banner(f"PlanetLab stream — {N} nodes, 100 x 1 KB, five strategies"))
+    series = {}
+    depths = {}
+    for strategy in STRATEGIES:
+        cdf, max_depth = run(strategy)
+        series[strategy] = cdf
+        depths[strategy] = max_depth
+    print(cdf_rows(series))
+    print("\nmax tree depth per strategy:",
+          {k: v for k, v in depths.items()})
+    print(
+        "\nReading the table: delay-aware trades tree depth for faster"
+        "\nlinks; gerontocratic prefers long-lived parents (fewer future"
+        "\nrepairs); load-balancing flattens relay effort; heterogeneity"
+        "\nconcentrates load on high-capacity nodes (§II-E, §IV)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,107 @@
+"""Plain flooding over the HyParView overlay (§II-A, Fig. 2).
+
+"A node receiving a message for the first time from a neighbor simply
+propagates it to all its other neighbors."  No deactivation, no structure:
+every overlay link carries every message in at least one direction, which
+is what produces the duplicate distributions of Fig. 2 — the motivation
+BRISA starts from.
+"""
+
+from __future__ import annotations
+
+from repro.config import HyParViewConfig
+from repro.ids import SEQ_BYTES, NodeId, StreamId
+from repro.membership.hyparview import HyParViewNode
+from repro.sim.message import Message
+
+STREAM_BYTES = 2
+MEASURE_BYTES = 8
+
+
+class FloodData(Message):
+    """One flooded stream message."""
+
+    kind = "flood_data"
+    __slots__ = ("stream", "seq", "payload_bytes", "hops", "path_delay", "sent_at")
+
+    def __init__(
+        self,
+        stream: StreamId,
+        seq: int,
+        payload_bytes: int,
+        hops: int = 0,
+        path_delay: float = 0.0,
+        sent_at: float = 0.0,
+    ) -> None:
+        self.stream = stream
+        self.seq = seq
+        self.payload_bytes = payload_bytes
+        self.hops = hops
+        self.path_delay = path_delay
+        self.sent_at = sent_at
+
+    def body_bytes(self) -> int:
+        return STREAM_BYTES + SEQ_BYTES + MEASURE_BYTES + self.payload_bytes
+
+
+class FloodNode(HyParViewNode):
+    """HyParView participant that floods every stream message."""
+
+    def __init__(
+        self,
+        network,
+        node_id: NodeId,
+        hpv_config: HyParViewConfig | None = None,
+    ) -> None:
+        super().__init__(network, node_id, hpv_config)
+        #: stream -> delivered sequence numbers
+        self.delivered: dict[StreamId, set[int]] = {}
+
+    def delivered_count(self, stream: StreamId = 0) -> int:
+        return len(self.delivered.get(stream, ()))
+
+    # ------------------------------------------------------------------
+    def inject(self, stream: StreamId, seq: int, payload_bytes: int) -> None:
+        self.network.metrics.record_injection(stream, seq, self.sim.now)
+        self.delivered.setdefault(stream, set()).add(seq)
+        self._flood(stream, seq, payload_bytes, exclude=None, hops=0, path_delay=0.0)
+
+    def _flood(
+        self,
+        stream: StreamId,
+        seq: int,
+        payload_bytes: int,
+        exclude: NodeId | None,
+        hops: int,
+        path_delay: float,
+    ) -> None:
+        for peer in self.active:
+            if peer != exclude:
+                self.send(
+                    peer,
+                    FloodData(
+                        stream, seq, payload_bytes,
+                        hops=hops, path_delay=path_delay, sent_at=self.sim.now,
+                    ),
+                )
+
+    def on_flood_data(self, src: NodeId, msg: FloodData) -> None:
+        seen = self.delivered.setdefault(msg.stream, set())
+        hop_delay = self.sim.now - msg.sent_at
+        path_delay = msg.path_delay + hop_delay
+        hops = msg.hops + 1
+        first = self.network.metrics.record_delivery(
+            self.node_id, msg.stream, msg.seq, self.sim.now, src, hops, path_delay
+        )
+        if msg.seq in seen:
+            return
+        seen.add(msg.seq)
+        if first:
+            self._flood(
+                msg.stream, msg.seq, msg.payload_bytes,
+                exclude=src, hops=hops, path_delay=path_delay,
+            )
+
+    def on_crash(self) -> None:
+        super().on_crash()
+        self.delivered.clear()

@@ -1,0 +1,62 @@
+"""BRISA core: emergent dissemination structures over a gossip substrate.
+
+The protocol of §II: the first message of a stream floods the HyParView
+overlay; every node then prunes all but ``p`` of its inbound links through
+deactivation messages, letting a tree (``p = 1``) or DAG (``p > 1``)
+emerge.  Cycle prevention is exact for trees (path embedding) and
+approximate for DAGs (depth labels); failures are healed by soft repairs
+(re-activate a link to a current neighbour) or hard repairs (re-bootstrap
+a region through flooding).
+"""
+
+from repro.core.brisa import BrisaNode
+from repro.core.cycle import (
+    BloomFilterPredictor,
+    CyclePredictor,
+    DepthLabelPredictor,
+    PathEmbeddingPredictor,
+    make_predictor,
+)
+from repro.core.recovery import MessageBuffer
+from repro.core.strategies import (
+    Candidate,
+    DelayAwareStrategy,
+    FirstComeStrategy,
+    GerontocraticStrategy,
+    HeterogeneityAwareStrategy,
+    LoadBalancingStrategy,
+    ParentSelectionStrategy,
+    make_strategy,
+)
+from repro.core.structure import (
+    dag_depths,
+    extract_structure,
+    is_complete_structure,
+    out_degrees,
+    to_dot,
+    tree_depths,
+)
+
+__all__ = [
+    "BloomFilterPredictor",
+    "BrisaNode",
+    "Candidate",
+    "CyclePredictor",
+    "DelayAwareStrategy",
+    "DepthLabelPredictor",
+    "FirstComeStrategy",
+    "GerontocraticStrategy",
+    "HeterogeneityAwareStrategy",
+    "LoadBalancingStrategy",
+    "MessageBuffer",
+    "ParentSelectionStrategy",
+    "PathEmbeddingPredictor",
+    "dag_depths",
+    "extract_structure",
+    "is_complete_structure",
+    "make_predictor",
+    "make_strategy",
+    "out_degrees",
+    "to_dot",
+    "tree_depths",
+]

@@ -1,0 +1,660 @@
+"""BrisaNode: the BRISA protocol over a HyParView substrate (§II).
+
+Life of a stream at one node:
+
+1. **Bootstrap flood.** The source pushes every message to all active-view
+   neighbours; nodes relay first receptions to all their other neighbours
+   (infect-and-die).  Flooding is complete because the HyParView overlay
+   is connected and bidirectional (§II-A).
+2. **Emergence.** The first reception implicitly selects a parent; each
+   duplicate triggers the link-deactivation decision of Fig. 3 — the
+   parent-selection strategy keeps the cheaper provider and a
+   ``Deactivate`` prunes the loser, subject to the cycle predictor
+   (path embedding for trees, depth labels for DAGs).
+3. **Steady state.** Messages flow only over active links: a tree delivers
+   exactly one copy per node, a ``p``-parent DAG at most ``p``.
+4. **Dynamism** (§II-F).  New neighbours come up with their links active.
+   A failed parent triggers a *soft repair* — adopt a current neighbour
+   that passes the cycle check, one Activate/Ack exchange — or, when no
+   neighbour is eligible, a *hard repair*: forget the position, reactivate
+   every inbound link, and push a ``ReactivateOrder`` down the old
+   subtree; the wave stops at nodes that can find replacement parents.
+   Missed messages are recovered from the new parent's buffer.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.config import BrisaConfig, HyParViewConfig
+from repro.core import messages as bm
+from repro.core.cycle import (
+    PARENT_CYCLE,
+    PARENT_DEMOTE,
+    extract_meta,
+    make_predictor,
+)
+from repro.core.recovery import MessageBuffer
+from repro.core.state import StreamState
+from repro.core.strategies import Candidate, make_strategy
+from repro.ids import NodeId, StreamId
+from repro.membership.hyparview import HyParViewNode
+
+
+class BrisaNode(HyParViewNode):
+    """One BRISA participant (membership + dissemination layers)."""
+
+    def __init__(
+        self,
+        network,
+        node_id: NodeId,
+        config: BrisaConfig | None = None,
+        hpv_config: HyParViewConfig | None = None,
+    ) -> None:
+        super().__init__(network, node_id, hpv_config)
+        self.config = config if config is not None else BrisaConfig()
+        self.predictor = make_predictor(self.config)
+        self.strategy = make_strategy(self.config.strategy)
+        self.streams: dict[StreamId, StreamState] = {}
+
+    # ------------------------------------------------------------------
+    # State access
+    # ------------------------------------------------------------------
+    def stream_state(self, stream: StreamId) -> StreamState:
+        state = self.streams.get(stream)
+        if state is None:
+            state = StreamState(stream, MessageBuffer(self.config.buffer_size))
+            # All links to current neighbours start active (§II-C, §II-F).
+            state.in_active = {peer: True for peer in self.active}
+            self.streams[stream] = state
+        return state
+
+    def parents_of(self, stream: StreamId = 0) -> list[NodeId]:
+        return list(self.stream_state(stream).parents)
+
+    def children_of(self, stream: StreamId = 0) -> list[NodeId]:
+        """Neighbours we still relay this stream to (≈ children once the
+        structure has stabilized)."""
+        state = self.stream_state(stream)
+        return [
+            p
+            for p in self.active
+            if p not in state.out_deactivated and p not in state.parents
+        ]
+
+    def delivered_count(self, stream: StreamId = 0) -> int:
+        return len(self.stream_state(stream).delivered)
+
+    # ------------------------------------------------------------------
+    # Source API
+    # ------------------------------------------------------------------
+    def become_source(self, stream: StreamId = 0) -> None:
+        state = self.stream_state(stream)
+        state.is_source = True
+        state.position = self.predictor.source_position(self.node_id)
+        state.hops = 0
+
+    def inject(self, stream: StreamId, seq: int, payload_bytes: int) -> None:
+        """Publish one stream message (the experiment harness drives this)."""
+        state = self.stream_state(stream)
+        if not state.is_source:
+            self.become_source(stream)
+            state = self.stream_state(stream)
+        self.network.metrics.record_injection(stream, seq, self.sim.now)
+        state.note_delivered(seq)
+        state.buffer.store(seq, payload_bytes)
+        self._forward(state, seq, payload_bytes, exclude=None, hops=0, path_delay=0.0)
+
+    # ------------------------------------------------------------------
+    # Data plane
+    # ------------------------------------------------------------------
+    def _data_message(
+        self,
+        state: StreamState,
+        seq: int,
+        payload_bytes: int,
+        hops: int,
+        path_delay: float,
+        recovered: bool = False,
+    ) -> bm.Data:
+        fields = self.predictor.message_fields(state.position)
+        return bm.Data(
+            state.stream,
+            seq,
+            payload_bytes,
+            hops=hops,
+            path_delay=path_delay,
+            sent_at=self.sim.now,
+            recovered=recovered,
+            **fields,
+        )
+
+    def _forward(
+        self,
+        state: StreamState,
+        seq: int,
+        payload_bytes: int,
+        exclude: Optional[NodeId],
+        hops: int,
+        path_delay: float,
+    ) -> None:
+        for peer in self.active:
+            if peer == exclude or peer in state.out_deactivated:
+                continue
+            self.send(peer, self._data_message(state, seq, payload_bytes, hops, path_delay))
+
+    def on_brisa_data(self, src: NodeId, msg: bm.Data) -> None:
+        state = self.stream_state(msg.stream)
+        meta = extract_meta(msg)
+        hop_delay = self.sim.now - msg.sent_at
+        path_delay = msg.path_delay + hop_delay
+        hops = msg.hops + 1
+
+        if state.is_source:
+            # The source needs no inbound providers: prune the link.
+            self._deactivate_link(state, src)
+            return
+
+        is_neighbor = src in self.active
+        if is_neighbor:
+            cand = state.candidates.get(src)
+            if cand is None:
+                cand = self._candidate(src, arrival=self.sim.now)
+                cand.path_delay = msg.path_delay
+                state.candidates[src] = cand
+            else:
+                # EMA over the sender's observed source-to-sender delay
+                # (jitter-smoothed input for the delay-aware strategy).
+                cand.path_delay = 0.7 * cand.path_delay + 0.3 * msg.path_delay
+
+        first = msg.seq not in state.delivered
+        self.network.metrics.record_delivery(
+            self.node_id, msg.stream, msg.seq, self.sim.now, src, hops, path_delay
+        )
+
+        if first:
+            state.note_delivered(msg.seq)
+            state.buffer.store(msg.seq, msg.payload_bytes)
+            if is_neighbor:
+                self._consider_provider(state, src, meta, first=True)
+            if src in state.parents:
+                state.hops = hops  # distance bookkeeping for retransmissions
+                if (
+                    msg.seq > state.max_contig + 1
+                    and not msg.recovered
+                    and self.sim.now - state.last_gap_request > self.GAP_REQUEST_COOLDOWN
+                ):
+                    # Sequence gap below this delivery: messages were lost
+                    # in a swap/activation race — recover them from the
+                    # parent's buffer (§II-F), rate-limited.
+                    state.last_gap_request = self.sim.now
+                    self.send(src, bm.RetransmitRequest(state.stream, state.max_contig))
+            # Infect-and-die relay: only first receptions propagate.
+            self._forward(
+                state, msg.seq, msg.payload_bytes, exclude=src,
+                hops=hops, path_delay=path_delay,
+            )
+            # Lazy DAG parent top-up: previously-ineligible neighbours may
+            # have become eligible as the structure settled; retry the soft
+            # acquisition every few messages (never escalates to hard).
+            if (
+                len(state.parents) < self.config.num_parents
+                and not state.repairing
+                and msg.seq % 8 == 7
+            ):
+                self._begin_repair(state, record=False, allow_hard=False)
+        else:
+            if is_neighbor and not msg.recovered:
+                self._consider_provider(state, src, meta, first=False)
+
+    # ------------------------------------------------------------------
+    # Parent selection (Fig. 3) and cycle handling
+    # ------------------------------------------------------------------
+    def _consider_provider(self, state: StreamState, src: NodeId, meta: Any, first: bool) -> None:
+        """Apply the link-deactivation decision to a message from ``src``."""
+        if src in state.parents:
+            state.parent_meta[src] = meta
+            self._maintain_parent(state, src, meta)
+            return
+
+        eligible = self.predictor.eligible(self.node_id, state.position, meta)
+        if not eligible:
+            # Cycle risk (or unlabeled provider): this link can never feed
+            # us as a parent.  Prune it as soon as we have at least one
+            # parent — otherwise it keeps delivering duplicates forever.
+            # With zero parents the link stays active as fallback flow
+            # until a repair completes.
+            if state.parents:
+                self._deactivate_link(state, src)
+            return
+
+        if len(state.parents) < self.config.num_parents:
+            self._adopt_parent(state, src, meta)
+            return
+
+        # Parents full: strategy decides between newcomer and worst parent.
+        newcomer = self._candidate(src, arrival=self._arrival_of(state, src), state=state)
+        worst_peer = self.strategy.worst(list(state.parents.values())).peer
+        incumbent = state.parents[worst_peer]
+        if self.strategy.prefers(newcomer, incumbent):
+            self._remove_parent(state, worst_peer, deactivate=True)
+            self._adopt_parent(state, src, meta)
+        else:
+            self._deactivate_link(state, src)
+            if (
+                self.config.symmetric_deactivation
+                and self.strategy.supports_symmetric
+                and self.config.num_parents == 1
+            ):
+                # Symmetric optimization (§II-E, trees only): src
+                # demonstrably received this message first, so we can never
+                # become its first-come parent; stop relaying to it without
+                # spending a message.  Unsound for DAGs: src may have
+                # adopted us as a *secondary* parent even though its first
+                # reception came from elsewhere.
+                state.out_deactivated.add(src)
+
+    def _arrival_of(self, state: StreamState, peer: NodeId) -> float:
+        cand = state.candidates.get(peer)
+        return cand.arrival if cand is not None else self.sim.now
+
+    def _candidate(
+        self, peer: NodeId, arrival: float, state: Optional[StreamState] = None
+    ) -> Candidate:
+        """Candidate snapshot; RTT/uptime/load/capacity mirror the info the
+        paper piggybacks on HyParView keep-alives (§II-E, §II-F)."""
+        rtt = self.network.rtt(self.node_id, peer)
+        uptime = 0.0
+        load = 0
+        peer_node = self.network.nodes.get(peer)
+        if peer_node is not None and peer_node.alive:
+            uptime = peer_node.uptime
+            if isinstance(peer_node, BrisaNode):
+                load = len(peer_node.children_of(0))
+        path_delay = 0.0
+        if state is not None:
+            cached = state.candidates.get(peer)
+            if cached is not None:
+                path_delay = cached.path_delay
+        return Candidate(
+            peer=peer,
+            arrival=arrival,
+            rtt=rtt,
+            uptime=uptime,
+            load=load,
+            capacity=self.network.capacity(peer),
+            path_delay=path_delay,
+        )
+
+    def _adopt_parent(self, state: StreamState, peer: NodeId, meta: Any) -> None:
+        cand = self._candidate(peer, arrival=self._arrival_of(state, peer), state=state)
+        state.parents[peer] = cand
+        state.parent_meta[peer] = meta
+        if not state.in_active.get(peer, True):
+            # We deactivated this peer in an earlier decision (dynamic
+            # strategies swap back and forth while duplicates flow): the
+            # peer still holds us in its out_deactivated set and would
+            # never relay again — re-activate the link explicitly.
+            self.send(peer, bm.Activate(state.stream, adopt=False))
+        state.in_active[peer] = True
+        state.demote_counts.pop(peer, None)
+        old_position = state.position
+        new_position = self.predictor.adopt(self.node_id, meta)
+        state.position = self._merge_position(state.position, new_position)
+        state.hops = self._hops_from_position(state, meta)
+        if (
+            self.predictor.name == "depth"
+            and old_position is not None
+            and state.position > old_position
+        ):
+            # Adopting an equal-depth parent moved us down (§II-G):
+            # "immediately updates its downstream children accordingly".
+            self._broadcast_depth(state)
+        self._check_settled(state)
+        if state.repairing:
+            self._finish_repair(state)
+
+    def _merge_position(self, old: Any, new: Any) -> Any:
+        """Combine constraints of multiple parents (DAG depth = max)."""
+        if old is None:
+            return new
+        if self.predictor.name == "depth":
+            return max(old, new)
+        if self.predictor.name == "bloom":
+            return old | new
+        return new
+
+    def _hops_from_position(self, state: StreamState, meta: Any) -> int:
+        if self.predictor.name == "path":
+            return len(state.position) - 1
+        if self.predictor.name == "depth":
+            return int(state.position)
+        # Bloom filters carry no distance; keep the last reception's count
+        # (refreshed by on_brisa_data whenever the parent delivers).
+        return state.hops if state.hops is not None else 1
+
+    def _remove_parent(self, state: StreamState, peer: NodeId, deactivate: bool) -> None:
+        state.drop_parent(peer)
+        if deactivate:
+            self._deactivate_link(state, peer)
+
+    #: Demotions attributable to one parent before we conclude the depth
+    #: labels are chasing each other around a cycle and drop the parent.
+    DEMOTE_LIMIT = 3
+
+    #: Minimum spacing between gap-triggered retransmit requests.
+    GAP_REQUEST_COOLDOWN = 0.5
+
+    def _maintain_parent(self, state: StreamState, src: NodeId, meta: Any) -> None:
+        """Steady-state revalidation of an existing parent (§II-D, §II-G)."""
+        if meta is None:
+            # The parent is mid-hard-repair (position forgotten) and
+            # re-flooding; its ReactivateOrder will arrive separately.
+            return
+        verdict = self.predictor.check_parent(self.node_id, state.position, meta)
+        if verdict == PARENT_CYCLE:
+            # "A node that detects a cycle from a parent simply makes the
+            # link from that parent inactive and selects a new parent."
+            self.network.metrics.incr("cycles_detected")
+            self._remove_parent(state, src, deactivate=True)
+            if not state.parents:
+                self._begin_repair(state, record=False)
+        elif verdict == PARENT_DEMOTE:
+            count = state.demote_counts.get(src, 0) + 1
+            state.demote_counts[src] = count
+            # Mutual-adoption detection: a legitimate parent receives our
+            # relayed duplicates and deactivates our backflow; a parent
+            # that keeps demoting us *while still accepting our relays*
+            # (src not in out_deactivated) is consuming us as its own
+            # parent — a two-cycle chasing its own depth labels.  Drop it
+            # (§II-G safety: cycles must never survive), with an absolute
+            # backstop for longer races.
+            suspicious = count >= 2 and src not in state.out_deactivated
+            if suspicious or count > self.DEMOTE_LIMIT:
+                self.network.metrics.incr("cycles_detected")
+                self._remove_parent(state, src, deactivate=True)
+                state.demote_counts.pop(src, None)
+                if not state.parents:
+                    self._begin_repair(state, record=False)
+                return
+            self._demote(state, int(meta) + 1)
+        elif self.predictor.name == "path":
+            # Track our own position from the freshest parent path.
+            state.position = self.predictor.adopt(self.node_id, meta)
+            state.hops = len(state.position) - 1
+
+    def _demote(self, state: StreamState, new_depth: int) -> None:
+        if state.position is not None and new_depth <= state.position:
+            return
+        state.position = new_depth
+        state.hops = new_depth
+        self._broadcast_depth(state)
+
+    def _broadcast_depth(self, state: StreamState) -> None:
+        """Push our new depth to every neighbour still linked to us —
+        including parents: in a pathological mutual-adoption pair the
+        'parent' is also our child and *must* observe our depth change for
+        the cycle breaker in _maintain_parent to trigger."""
+        update = bm.DepthUpdate(state.stream, state.position)
+        for peer in self.active:
+            if peer not in state.out_deactivated:
+                self.send(peer, update)
+
+    def on_brisa_depth_update(self, src: NodeId, msg: bm.DepthUpdate) -> None:
+        state = self.stream_state(msg.stream)
+        if src in state.parents:
+            state.parent_meta[src] = msg.depth
+            self._maintain_parent(state, src, msg.depth)
+
+    # ------------------------------------------------------------------
+    # Link (de)activation
+    # ------------------------------------------------------------------
+    def _deactivate_link(self, state: StreamState, peer: NodeId) -> None:
+        # Unknown peers (e.g. providers seen before the membership layer
+        # reported them) are treated as active so the Deactivate is sent.
+        if not state.in_active.get(peer, True):
+            return
+        state.in_active[peer] = False
+        self.send(peer, bm.Deactivate(state.stream))
+        if state.first_deact_at is None:
+            state.first_deact_at = self.sim.now
+        self._check_settled(state)
+
+    def _check_settled(self, state: StreamState) -> None:
+        """Construction-time probe (Fig. 13): settled once all inbound
+        links but the target number are deactivated."""
+        if state.settled_at is not None or state.first_deact_at is None:
+            return
+        if state.active_in_count() <= self.config.num_parents:
+            state.settled_at = self.sim.now
+            self.network.metrics.record_construction(
+                self.node_id, state.first_deact_at, state.settled_at
+            )
+
+    def on_brisa_deactivate(self, src: NodeId, msg: bm.Deactivate) -> None:
+        state = self.stream_state(msg.stream)
+        state.out_deactivated.add(src)
+
+    def on_brisa_activate(self, src: NodeId, msg: bm.Activate) -> None:
+        state = self.stream_state(msg.stream)
+        state.out_deactivated.discard(src)
+        if msg.adopt:
+            fields = (
+                self.predictor.message_fields(state.position)
+                if state.position is not None
+                else {}
+            )
+            self.send(src, bm.ActivateAck(msg.stream, **fields))
+
+    # ------------------------------------------------------------------
+    # Membership events
+    # ------------------------------------------------------------------
+    def neighbor_up(self, peer: NodeId) -> None:
+        for state in self.streams.values():
+            # Links to new nodes start active (§II-F).
+            state.in_active.setdefault(peer, True)
+            state.out_deactivated.discard(peer)
+
+    def neighbor_down(self, peer: NodeId, failure: bool) -> None:
+        for state in self.streams.values():
+            state.in_active.pop(peer, None)
+            state.out_deactivated.discard(peer)
+            state.candidates.pop(peer, None)
+            if state.repair_pending == peer:
+                state.repair_pending = None
+                self._repair_next(state)
+            if peer in state.parents:
+                state.drop_parent(peer)
+                if state.engaged and not state.is_source:
+                    self.network.metrics.record_parent_loss(self.sim.now, self.node_id)
+                    if not state.parents:
+                        self.network.metrics.record_orphan(self.sim.now, self.node_id)
+                        self._begin_repair(state, record=True)
+                    elif len(state.parents) < self.config.num_parents:
+                        # DAG continuity: top the parent set back up, but
+                        # this is not a disconnection (Table I counts only
+                        # orphan repairs) and must never go hard.
+                        self._begin_repair(state, record=False, allow_hard=False)
+
+    # ------------------------------------------------------------------
+    # Repairs (§II-F)
+    # ------------------------------------------------------------------
+    def _begin_repair(
+        self, state: StreamState, record: bool, allow_hard: bool = True
+    ) -> None:
+        if state.repairing or not state.engaged or state.is_source:
+            return
+        state.repairing = True
+        state.repair_record = record
+        state.repair_started = self.sim.now
+        state.repair_hard = False
+        state.repair_allow_hard = allow_hard
+        self._soft_repair(state)
+
+    def _repair_candidates(self, state: StreamState) -> list[Candidate]:
+        """Eligible replacement parents among current neighbours, using
+        the keep-alive-piggybacked position info (§II-F)."""
+        out = []
+        for peer in self.active:
+            if peer in state.parents:
+                continue
+            meta = self._peer_position(peer, state.stream)
+            if meta is None:
+                continue
+            if self.predictor.eligible(self.node_id, state.position, meta):
+                out.append(self._candidate(peer, arrival=self._arrival_of(state, peer), state=state))
+        return out
+
+    def _peer_position(self, peer: NodeId, stream: StreamId) -> Any:
+        """Position advertised by a neighbour on its keep-alives.
+
+        The simulator reads the neighbour's live state directly instead of
+        simulating per-heartbeat piggyback messages (see DESIGN.md §5);
+        the Activate/Ack handshake still re-validates before adoption.
+        """
+        node = self.network.nodes.get(peer)
+        if node is None or not node.alive or not isinstance(node, BrisaNode):
+            return None
+        peer_state = node.streams.get(stream)
+        if peer_state is None:
+            return None
+        return peer_state.position
+
+    def _soft_repair(self, state: StreamState) -> None:
+        candidates = self._repair_candidates(state)
+        if not candidates:
+            self._repair_exhausted(state)
+            return
+        state.repair_queue = self.strategy.sort(candidates)
+        self._repair_next(state)
+
+    def _repair_exhausted(self, state: StreamState) -> None:
+        """No (more) soft candidates: escalate or give up quietly."""
+        if state.repair_allow_hard and not state.repair_hard:
+            self._hard_repair(state)
+        elif not state.repair_allow_hard:
+            # Top-up attempt failed (e.g. every neighbour sits below us —
+            # the Fig. 10 single-parent case); service continues on the
+            # remaining parents.
+            state.repairing = False
+            state.repair_pending = None
+            state.repair_queue = []
+
+    def _repair_next(self, state: StreamState) -> None:
+        if not state.repairing:
+            return
+        while state.repair_queue:
+            cand = state.repair_queue.pop(0)
+            if not self.is_active(cand.peer):
+                continue
+            state.repair_pending = cand.peer
+            state.repair_attempt += 1
+            attempt = state.repair_attempt
+            self.send(cand.peer, bm.Activate(state.stream, adopt=True))
+            timeout = max(0.02, 6.0 * self.network.rtt(self.node_id, cand.peer))
+            self.after(timeout, self._repair_timeout, state.stream, attempt)
+            return
+        # Queue exhausted without adoption.
+        self._repair_exhausted(state)
+
+    def _repair_timeout(self, stream: StreamId, attempt: int) -> None:
+        state = self.streams.get(stream)
+        if state is None or not state.repairing:
+            return
+        if state.repair_attempt != attempt or state.repair_pending is None:
+            return
+        state.repair_pending = None
+        self._repair_next(state)
+
+    def on_brisa_activate_ack(self, src: NodeId, msg: bm.ActivateAck) -> None:
+        state = self.stream_state(msg.stream)
+        if not state.repairing or state.repair_pending != src:
+            return
+        state.repair_pending = None
+        meta = extract_meta(msg)
+        if meta is not None and self.predictor.eligible(self.node_id, state.position, meta):
+            self._adopt_parent(state, src, meta)
+        else:
+            self._deactivate_link(state, src)
+            self._repair_next(state)
+
+    def _finish_repair(self, state: StreamState) -> None:
+        duration = self.sim.now - state.repair_started
+        if state.repair_record:
+            kind = "hard" if state.repair_hard else "soft"
+            self.network.metrics.record_repair(
+                self.sim.now, self.node_id, kind, duration, state.stream
+            )
+        state.repairing = False
+        state.repair_pending = None
+        state.repair_queue = []
+        # Recover anything missed while we were disconnected (§II-F).
+        parent = next(iter(state.parents), None)
+        if parent is not None:
+            self.send(parent, bm.RetransmitRequest(state.stream, state.max_contig))
+
+    def _hard_repair(self, state: StreamState) -> None:
+        """Fall back to flooding: forget the position, re-activate every
+        inbound link and re-bootstrap the subtree (§II-F)."""
+        if state.repair_hard:
+            return  # already hard; flooding will eventually reach us
+        state.repair_hard = True
+        old_parents = set(state.parents)
+        for peer in old_parents:
+            state.drop_parent(peer)
+        children = [
+            p
+            for p in self.active
+            if p not in state.out_deactivated and p not in old_parents
+        ]
+        state.reset_position()
+        for peer in self.active:
+            state.in_active[peer] = True
+            self.send(peer, bm.Activate(state.stream, adopt=False))
+        order = bm.ReactivateOrder(state.stream)
+        for child in children:
+            self.send(child, order)
+        # As a fresh node every neighbour is an eligible provider; try an
+        # immediate adoption so service resumes before the next flood wave.
+        state.repair_queue = self.strategy.sort(
+            [
+                self._candidate(p, arrival=self._arrival_of(state, p), state=state)
+                for p in self.active
+            ]
+        )
+        self._repair_next(state)
+
+    def on_brisa_reactivate_order(self, src: NodeId, msg: bm.ReactivateOrder) -> None:
+        state = self.stream_state(msg.stream)
+        # Our parent re-bootstrapped: it can no longer serve us.
+        had_parent = state.drop_parent(src)
+        if not state.engaged:
+            return
+        if state.parents:
+            return  # other parents keep feeding us; wave stops here
+        if state.repairing:
+            return
+        # Try to replace the re-activating parent locally; if impossible,
+        # _soft_repair escalates to _hard_repair, which continues the wave
+        # (the "nodes stop re-activating and propagating the order as soon
+        # as they can select a suitable parent" rule of §II-F).
+        self._begin_repair(state, record=False)
+
+    # ------------------------------------------------------------------
+    # Retransmissions
+    # ------------------------------------------------------------------
+    def on_brisa_retransmit(self, src: NodeId, msg: bm.RetransmitRequest) -> None:
+        state = self.stream_state(msg.stream)
+        hops = state.hops if state.hops is not None else 0
+        for seq, payload_bytes in state.buffer.after(msg.have_up_to):
+            self.send(
+                src,
+                self._data_message(
+                    state, seq, payload_bytes, hops=hops, path_delay=0.0, recovered=True
+                ),
+            )
+
+    # ------------------------------------------------------------------
+    def on_crash(self) -> None:
+        super().on_crash()
+        self.streams.clear()

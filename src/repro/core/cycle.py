@@ -1,0 +1,187 @@
+"""Cycle predictors: the three candidates §II-D/§II-G weigh against each other.
+
+A predictor answers one question: *may neighbour ``q`` (whose last message
+carried metadata ``meta``) serve as a parent of node ``n`` without risking
+a cycle?*  Three implementations:
+
+- :class:`PathEmbeddingPredictor` — exact, used for trees.  Messages carry
+  the identifiers on the path from the source; a candidate is eligible iff
+  the node does not appear in its path.  Zero false positives/negatives;
+  metadata grows with tree height (≈ ``log_b N`` ids).
+- :class:`DepthLabelPredictor` — approximate, used for DAGs.  Messages
+  carry a single integer depth; eligible iff the candidate sits strictly
+  above (smaller depth).  May reject causally-unrelated candidates (false
+  negatives, Fig. 5) but can never create a cycle.
+- :class:`BloomFilterPredictor` — the probabilistic alternative the paper
+  argues *against* (§II-D cost comparison); implemented for the ablation
+  bench.  Messages carry a Bloom filter of the candidate's ancestors;
+  false positives of the filter translate into false-negative parent
+  rejections.
+
+``position`` is the node's own standing in the structure (its path /
+depth / filter); ``meta`` is what arrives inside a message.  For every
+predictor the source's position is well-defined and a ``None`` position
+means "fresh node, anything is eligible" (hard repair resets to it).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Optional
+
+from repro.config import BrisaConfig
+from repro.ids import NodeId
+from repro.sim.rng import derive_seed
+
+#: Verdicts of :meth:`CyclePredictor.check_parent`.
+PARENT_OK = "ok"
+PARENT_DEMOTE = "demote"  # depth mode: move self below the parent
+PARENT_CYCLE = "cycle"  # exact modes: drop this parent, reselect
+
+
+class CyclePredictor(ABC):
+    """Strategy object for cycle-free parent eligibility."""
+
+    name: str = ""
+
+    @abstractmethod
+    def source_position(self, node_id: NodeId) -> Any:
+        """Initial position of the stream source."""
+
+    @abstractmethod
+    def adopt(self, node_id: NodeId, meta: Any) -> Any:
+        """Own position after adopting a parent whose message carried
+        ``meta``."""
+
+    @abstractmethod
+    def eligible(self, node_id: NodeId, position: Any, meta: Any) -> bool:
+        """May the sender of ``meta`` become a parent of ``node_id``
+        (whose own position is ``position``; ``None`` = fresh)?"""
+
+    @abstractmethod
+    def check_parent(self, node_id: NodeId, position: Any, meta: Any) -> str:
+        """Re-validate an *existing* parent from a fresh ``meta``:
+        ``ok``, ``demote`` (depth bump) or ``cycle`` (drop parent)."""
+
+    def message_fields(self, position: Any) -> dict:
+        """Keyword fields to place on an outgoing :class:`Data` message."""
+        raise NotImplementedError
+
+
+class PathEmbeddingPredictor(CyclePredictor):
+    """Exact prediction through embedded source paths (§II-D)."""
+
+    name = "path"
+
+    def source_position(self, node_id: NodeId) -> tuple[NodeId, ...]:
+        return (node_id,)
+
+    def adopt(self, node_id: NodeId, meta: tuple[NodeId, ...]) -> tuple[NodeId, ...]:
+        return tuple(meta) + (node_id,)
+
+    def eligible(self, node_id: NodeId, position, meta) -> bool:
+        return meta is not None and node_id not in meta
+
+    def check_parent(self, node_id: NodeId, position, meta) -> str:
+        return PARENT_CYCLE if node_id in meta else PARENT_OK
+
+    def message_fields(self, position) -> dict:
+        return {"path": position}
+
+
+class DepthLabelPredictor(CyclePredictor):
+    """Approximate prediction through depth labels (§II-G)."""
+
+    name = "depth"
+
+    def source_position(self, node_id: NodeId) -> int:
+        return 0
+
+    def adopt(self, node_id: NodeId, meta: int) -> int:
+        return int(meta) + 1
+
+    def eligible(self, node_id: NodeId, position, meta) -> bool:
+        if meta is None:
+            return False
+        if position is None:
+            return True
+        # §II-G: "N can select parents from nodes at any depth not greater
+        # than i".  Adopting an equal-depth parent moves N down to depth
+        # i+1 (handled by adopt() + the demotion propagation), restoring
+        # the strict parent-above-child invariant.
+        return meta <= position
+
+    def check_parent(self, node_id: NodeId, position, meta) -> str:
+        # A parent that moved to our depth (or below) pushes us down — the
+        # "N moves to depth i+1 and updates its children" rule of §II-G.
+        if position is not None and meta >= position:
+            return PARENT_DEMOTE
+        return PARENT_OK
+
+    def message_fields(self, position) -> dict:
+        return {"depth": position}
+
+
+class BloomFilterPredictor(CyclePredictor):
+    """Probabilistic ancestor sets via Bloom filters (comparison baseline).
+
+    The filter is an ``m``-bit integer mask; each node sets ``k``
+    hash-derived bits.  A candidate is eligible iff the node's bits are
+    not all present in the candidate's filter — false positives of the
+    filter therefore *reject valid parents* (safe but wasteful), never
+    admit cycles.
+    """
+
+    name = "bloom"
+
+    def __init__(self, bits: int = 1024, hashes: int = 4) -> None:
+        if bits <= 0 or hashes <= 0:
+            raise ValueError("bits and hashes must be positive")
+        self.bits = bits
+        self.hashes = hashes
+
+    def _node_mask(self, node_id: NodeId) -> int:
+        mask = 0
+        for i in range(self.hashes):
+            bit = derive_seed(0, "bloom", node_id, i) % self.bits
+            mask |= 1 << bit
+        return mask
+
+    def contains(self, filter_mask: int, node_id: NodeId) -> bool:
+        bits = self._node_mask(node_id)
+        return (filter_mask & bits) == bits
+
+    def source_position(self, node_id: NodeId) -> int:
+        return self._node_mask(node_id)
+
+    def adopt(self, node_id: NodeId, meta: int) -> int:
+        return int(meta) | self._node_mask(node_id)
+
+    def eligible(self, node_id: NodeId, position, meta) -> bool:
+        return meta is not None and not self.contains(meta, node_id)
+
+    def check_parent(self, node_id: NodeId, position, meta) -> str:
+        return PARENT_CYCLE if self.contains(meta, node_id) else PARENT_OK
+
+    def message_fields(self, position) -> dict:
+        return {"bloom": position, "bloom_bits": self.bits}
+
+
+def make_predictor(config: BrisaConfig) -> CyclePredictor:
+    """Build the predictor selected by a :class:`BrisaConfig`."""
+    if config.cycle_predictor == "path":
+        return PathEmbeddingPredictor()
+    if config.cycle_predictor == "depth":
+        return DepthLabelPredictor()
+    if config.cycle_predictor == "bloom":
+        return BloomFilterPredictor(config.bloom_bits, config.bloom_hashes)
+    raise ValueError(f"unknown cycle predictor {config.cycle_predictor!r}")
+
+
+def extract_meta(msg) -> Any:
+    """Pull whichever metadata field a message carries (path/depth/bloom)."""
+    if getattr(msg, "path", None) is not None:
+        return msg.path
+    if getattr(msg, "depth", None) is not None:
+        return msg.depth
+    return getattr(msg, "bloom", None)

@@ -1,0 +1,58 @@
+"""Bounded message buffer for post-repair retransmission (§II-F).
+
+"Nodes can compensate message loss during the parent recovery process by
+directly asking its new found parent to send the missing ones. Since
+parent recovery is quick the number of messages each parent needs to
+buffer is small."  The buffer keeps the last ``capacity`` sequence
+numbers (with their payload sizes — the simulator never materializes
+payload bits) in insertion order.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator, Optional
+
+
+class MessageBuffer:
+    """Fixed-capacity per-stream buffer of (seq -> payload size)."""
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self.capacity = capacity
+        self._items: "OrderedDict[int, int]" = OrderedDict()
+
+    def store(self, seq: int, payload_bytes: int) -> None:
+        if self.capacity == 0:
+            return
+        if seq in self._items:
+            self._items.move_to_end(seq)
+            return
+        self._items[seq] = payload_bytes
+        while len(self._items) > self.capacity:
+            self._items.popitem(last=False)
+
+    def __contains__(self, seq: int) -> bool:
+        return seq in self._items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def get(self, seq: int) -> Optional[int]:
+        return self._items.get(seq)
+
+    @property
+    def latest(self) -> Optional[int]:
+        """Highest buffered sequence number (None when empty)."""
+        return max(self._items) if self._items else None
+
+    def after(self, have_up_to: int) -> Iterator[tuple[int, int]]:
+        """Buffered ``(seq, payload_bytes)`` with ``seq > have_up_to``,
+        in ascending sequence order."""
+        for seq in sorted(self._items):
+            if seq > have_up_to:
+                yield seq, self._items[seq]
+
+    def clear(self) -> None:
+        self._items.clear()

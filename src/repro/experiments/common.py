@@ -1,0 +1,367 @@
+"""Testbed builder and stream driver shared by all experiments.
+
+The shape of every experiment in §III is the same: bootstrap ``n`` nodes
+(Listing 1's join ramp), let the overlay stabilize, pick a source, switch
+the metrics phase to *dissemination*, inject ``count`` messages at
+``rate``/s, and run until the stream drains.  :class:`Testbed` implements
+that shape once, for any protocol stack exposing the common node API
+(``join(contact)`` + ``inject(stream, seq, payload_bytes)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.config import BrisaConfig, HyParViewConfig, StreamConfig
+from repro.core.brisa import BrisaNode
+from repro.core.structure import extract_structure, is_complete_structure
+from repro.ids import NodeId, StreamId
+from repro.sim.engine import Simulator
+from repro.sim.latency import ClusterLatency, LatencyModel
+from repro.sim.monitor import DISSEMINATION, STABILIZATION, Metrics
+from repro.sim.network import Network
+
+NodeFactory = Callable[[Network, NodeId], object]
+
+
+class Testbed:
+    """A populated simulation ready to disseminate streams."""
+
+    def __init__(
+        self,
+        *,
+        seed: int = 1,
+        latency: Optional[LatencyModel] = None,
+        keepalive_period: float = 1.0,
+        record_deliveries: bool = True,
+    ) -> None:
+        self.sim = Simulator(seed=seed)
+        self.metrics = Metrics(record_deliveries=record_deliveries)
+        self.network = Network(
+            self.sim,
+            latency if latency is not None else ClusterLatency(seed=seed),
+            self.metrics,
+            keepalive_period=keepalive_period,
+        )
+        self.nodes: list = []
+        self._factory: Optional[NodeFactory] = None
+        self._join_rng = self.sim.rng("testbed-joins")
+
+    # ------------------------------------------------------------------
+    # Population
+    # ------------------------------------------------------------------
+    def populate(
+        self,
+        n: int,
+        factory: NodeFactory,
+        *,
+        join_spacing: float = 0.05,
+        settle: float = 30.0,
+        join_first: bool = False,
+    ) -> "Testbed":
+        """Bootstrap ``n`` nodes: the first stands alone, the rest join
+        through uniformly random existing contacts, one every
+        ``join_spacing`` seconds; then run ``settle`` seconds of quiet.
+
+        ``join_first`` also runs the join procedure for the very first
+        node — needed by protocols with an explicit registry (SimpleTree's
+        coordinator, TAG's tracker)."""
+        if n < 1:
+            raise ValueError("need at least one node")
+        self._factory = factory
+        first = self.network.spawn(factory)
+        self.nodes.append(first)
+        if join_first:
+            first.join(first.node_id)
+        for i in range(1, n):
+            self.sim.schedule(i * join_spacing, self._join_one)
+        self.sim.run(until=n * join_spacing + settle)
+        return self
+
+    def _join_one(self):
+        node = self.network.spawn(self._factory)
+        contacts = [x.node_id for x in self.nodes if x.alive]
+        if contacts:
+            node.join(self._join_rng.choice(contacts))
+        self.nodes.append(node)
+        return node
+
+    def spawn_joiner(self):
+        """Create + join one more node (used as ChurnDriver's join_fn)."""
+        return self._join_one()
+
+    # ------------------------------------------------------------------
+    # Views over the population
+    # ------------------------------------------------------------------
+    def alive_nodes(self) -> list:
+        return [n for n in self.nodes if n.alive]
+
+    def alive_ids(self) -> list[NodeId]:
+        return [n.node_id for n in self.nodes if n.alive]
+
+    def node(self, node_id: NodeId):
+        return self.network.nodes[node_id]
+
+    def choose_source(self, label: str = "source"):
+        """Pick the stream source uniformly at random (§III: "randomly
+        choose a node to be the source across all the experiment")."""
+        rng = self.sim.rng(label)
+        return rng.choice(self.alive_nodes())
+
+    # ------------------------------------------------------------------
+    # Stream driving
+    # ------------------------------------------------------------------
+    def start_stream(
+        self,
+        source,
+        stream_cfg: StreamConfig,
+        *,
+        mark_phase: bool = True,
+    ) -> None:
+        """Schedule the injections of one stream starting now."""
+        if mark_phase:
+            self.metrics.set_phase(DISSEMINATION, self.sim.now)
+        if hasattr(source, "become_source"):
+            source.become_source(stream_cfg.stream_id)
+        for seq in range(stream_cfg.count):
+            self.sim.schedule(
+                seq / stream_cfg.rate,
+                source.inject,
+                stream_cfg.stream_id,
+                seq,
+                stream_cfg.payload_bytes,
+            )
+
+    def run_stream(
+        self,
+        source,
+        stream_cfg: StreamConfig,
+        *,
+        drain: float = 10.0,
+        account_keepalives: bool = True,
+    ) -> "RunResult":
+        """Inject a full stream and run until it drains."""
+        start = self.sim.now
+        self.start_stream(source, stream_cfg)
+        self.sim.run(until=start + stream_cfg.duration + drain)
+        self.metrics.close(self.sim.now)
+        if account_keepalives:
+            self.network.account_keepalives(DISSEMINATION, self.sim.now - start)
+        return RunResult(self, source, stream_cfg)
+
+    def run(self, until: float) -> None:
+        self.sim.run(until=until)
+
+
+@dataclass
+class RunResult:
+    """Outcome of one stream dissemination over a testbed."""
+
+    testbed: Testbed
+    source: object
+    stream_cfg: StreamConfig
+
+    # ------------------------------------------------------------------
+    @property
+    def metrics(self) -> Metrics:
+        return self.testbed.metrics
+
+    def receivers(self) -> list[NodeId]:
+        """All live nodes except the source."""
+        src = self.source.node_id
+        return [n for n in self.testbed.alive_ids() if n != src]
+
+    def delivered_fraction(self) -> float:
+        """Fraction of (message, receiver) pairs delivered."""
+        receivers = set(self.receivers())
+        if not receivers:
+            return 1.0
+        sid = self.stream_cfg.stream_id
+        got = 0
+        for seq in range(self.stream_cfg.count):
+            per_node = self.metrics.deliveries.get((sid, seq), {})
+            got += len(receivers & per_node.keys())
+        return got / (self.stream_cfg.count * len(receivers))
+
+    def duplicates_per_node(self) -> list[int]:
+        return self.metrics.duplicates_per_node(self.receivers())
+
+    def structure(self):
+        """The emerged parent->child structure (BRISA stacks only)."""
+        return extract_structure(self.testbed.alive_nodes(), self.stream_cfg.stream_id)
+
+    def structure_ok(self) -> tuple[bool, str]:
+        g = self.structure()
+        return is_complete_structure(
+            g, self.source.node_id, set(self.testbed.alive_ids())
+        )
+
+    def summary(self) -> str:
+        frac = self.delivered_fraction()
+        dups = self.duplicates_per_node()
+        mean_dups = sum(dups) / len(dups) if dups else 0.0
+        lines = [
+            f"nodes: {len(self.testbed.alive_ids())}",
+            f"messages: {self.stream_cfg.count} x {self.stream_cfg.payload_bytes} B",
+            f"delivered: {frac * 100:.2f}%",
+            f"duplicates/node (mean): {mean_dups:.2f}",
+        ]
+        if isinstance(self.source, BrisaNode):
+            ok, reason = self.structure_ok()
+            lines.append(f"structure: {'complete/acyclic' if ok else reason}")
+        return "\n".join(lines)
+
+
+def brisa_factory(
+    config: Optional[BrisaConfig] = None,
+    hpv_config: Optional[HyParViewConfig] = None,
+) -> NodeFactory:
+    """Node factory for BRISA stacks."""
+    cfg = config if config is not None else BrisaConfig()
+    hpv = hpv_config if hpv_config is not None else HyParViewConfig()
+    return lambda network, nid: BrisaNode(network, nid, cfg, hpv)
+
+
+def build_brisa_testbed(
+    n: int,
+    *,
+    seed: int = 1,
+    config: Optional[BrisaConfig] = None,
+    hpv_config: Optional[HyParViewConfig] = None,
+    latency: Optional[LatencyModel] = None,
+    join_spacing: float = 0.05,
+    settle: float = 30.0,
+    record_deliveries: bool = True,
+) -> Testbed:
+    """One-call BRISA testbed used by most scenarios and tests."""
+    bed = Testbed(seed=seed, latency=latency, record_deliveries=record_deliveries)
+    bed.populate(
+        n, brisa_factory(config, hpv_config), join_spacing=join_spacing, settle=settle
+    )
+    return bed
+
+
+def build_flood_testbed(
+    n: int,
+    *,
+    seed: int = 1,
+    hpv_config: Optional[HyParViewConfig] = None,
+    latency: Optional[LatencyModel] = None,
+    join_spacing: float = 0.05,
+    settle: float = 30.0,
+    record_deliveries: bool = True,
+) -> Testbed:
+    """Pure-flooding stack over HyParView (Fig. 2 baseline)."""
+    from repro.baselines.flood import FloodNode
+
+    hpv = hpv_config if hpv_config is not None else HyParViewConfig()
+    bed = Testbed(seed=seed, latency=latency, record_deliveries=record_deliveries)
+    bed.populate(
+        n,
+        lambda network, nid: FloodNode(network, nid, hpv),
+        join_spacing=join_spacing,
+        settle=settle,
+    )
+    return bed
+
+
+def build_gossip_testbed(
+    n: int,
+    *,
+    seed: int = 1,
+    gossip_config=None,
+    anti_entropy_period: float = 0.1,
+    latency: Optional[LatencyModel] = None,
+    join_spacing: float = 0.05,
+    settle: float = 60.0,
+    record_deliveries: bool = True,
+) -> Testbed:
+    """SimpleGossip stack (Cyclon + rumor mongering + anti-entropy)."""
+    from repro.baselines.simplegossip import SimpleGossipNode
+    from repro.config import GossipConfig
+
+    cfg = gossip_config if gossip_config is not None else GossipConfig()
+    bed = Testbed(seed=seed, latency=latency, record_deliveries=record_deliveries)
+    bed.populate(
+        n,
+        lambda network, nid: SimpleGossipNode(
+            network, nid, cfg, anti_entropy_period=anti_entropy_period
+        ),
+        join_spacing=join_spacing,
+        settle=settle,
+    )
+    return bed
+
+
+def build_simpletree_testbed(
+    n: int,
+    *,
+    seed: int = 1,
+    tree_config=None,
+    latency: Optional[LatencyModel] = None,
+    join_spacing: float = 0.05,
+    settle: float = 10.0,
+    record_deliveries: bool = True,
+):
+    """SimpleTree stack; returns (testbed, coordinator node)."""
+    from repro.baselines.simpletree import SimpleTreeCoordinator, SimpleTreeNode
+    from repro.config import SimpleTreeConfig
+
+    cfg = tree_config if tree_config is not None else SimpleTreeConfig()
+    bed = Testbed(seed=seed, latency=latency, record_deliveries=record_deliveries)
+    coordinator = bed.network.spawn(
+        lambda network, nid: SimpleTreeCoordinator(network, nid, cfg)
+    )
+    bed.populate(
+        n,
+        lambda network, nid: SimpleTreeNode(network, nid, coordinator.node_id),
+        join_spacing=join_spacing,
+        settle=settle,
+        join_first=True,
+    )
+    return bed, coordinator
+
+
+def build_tag_testbed(
+    n: int,
+    *,
+    seed: int = 1,
+    tag_config=None,
+    latency: Optional[LatencyModel] = None,
+    join_spacing: float = 0.1,
+    settle: float = 30.0,
+    record_deliveries: bool = True,
+):
+    """TAG stack; returns (testbed, tracker).  The natural stream source
+    is the list head / tree root: ``bed.nodes[0]``."""
+    from repro.baselines.tag import TagNode, TagTracker
+    from repro.config import TagConfig
+
+    cfg = tag_config if tag_config is not None else TagConfig()
+    tracker = TagTracker()
+    bed = Testbed(seed=seed, latency=latency, record_deliveries=record_deliveries)
+    bed.populate(
+        n,
+        lambda network, nid: TagNode(network, nid, tracker, cfg),
+        join_spacing=join_spacing,
+        settle=settle,
+        join_first=True,
+    )
+    return bed, tracker
+
+
+def quick_brisa_run(
+    n: int = 64,
+    messages: int = 50,
+    *,
+    seed: int = 1,
+    payload_bytes: int = 1024,
+    rate: float = 5.0,
+    config: Optional[BrisaConfig] = None,
+) -> RunResult:
+    """Library quickstart: bootstrap, disseminate, return the result."""
+    bed = build_brisa_testbed(n, seed=seed, config=config)
+    source = bed.choose_source()
+    stream = StreamConfig(count=messages, rate=rate, payload_bytes=payload_bytes)
+    return bed.run_stream(source, stream)

@@ -1,0 +1,87 @@
+"""Experiment scales: paper-faithful population sizes vs fast CI sizes.
+
+``paper`` reproduces the published populations and message counts (§III:
+512 cluster nodes, 150–200 PlanetLab nodes, 500 messages at 5/s, 10 min
+of churn).  ``fast`` shrinks everything shape-preservingly so the whole
+bench suite completes in minutes.  Select with ``REPRO_SCALE=paper``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Scale:
+    name: str
+    #: Cluster-testbed population (paper: 512).
+    cluster_nodes: int
+    #: PlanetLab-testbed population for Fig. 9 (paper: 150).
+    planetlab_nodes: int
+    #: PlanetLab population for Fig. 13 (paper: 200).
+    planetlab_nodes_large: int
+    #: Small-population churn experiments (paper: 128).
+    small_nodes: int
+    #: Stream length (paper: 500).
+    messages: int
+    #: Seconds of churn (paper: 600).
+    churn_duration: float
+    #: Churn period (paper: 60).
+    churn_period: float
+    #: Overlay settle time after the join ramp.
+    settle: float
+    #: Spacing between bootstrap joins (paper trace: 1/s).
+    join_spacing: float
+
+
+PAPER = Scale(
+    name="paper",
+    cluster_nodes=512,
+    planetlab_nodes=150,
+    planetlab_nodes_large=200,
+    small_nodes=128,
+    messages=500,
+    churn_duration=600.0,
+    churn_period=60.0,
+    settle=60.0,
+    join_spacing=0.25,
+)
+
+FAST = Scale(
+    name="fast",
+    cluster_nodes=128,
+    planetlab_nodes=48,
+    planetlab_nodes_large=64,
+    small_nodes=64,
+    messages=100,
+    churn_duration=180.0,
+    churn_period=30.0,
+    settle=30.0,
+    join_spacing=0.05,
+)
+
+TINY = Scale(
+    name="tiny",
+    cluster_nodes=32,
+    planetlab_nodes=24,
+    planetlab_nodes_large=24,
+    small_nodes=24,
+    messages=30,
+    churn_duration=60.0,
+    churn_period=15.0,
+    settle=20.0,
+    join_spacing=0.05,
+)
+
+SCALES = {"paper": PAPER, "fast": FAST, "tiny": TINY}
+
+
+def get_scale(name: str | None = None) -> Scale:
+    """Resolve a scale by name, defaulting to ``$REPRO_SCALE`` or fast."""
+    if name is None:
+        name = os.environ.get("REPRO_SCALE", "fast")
+    try:
+        return SCALES[name]
+    except KeyError:
+        raise ValueError(f"unknown scale {name!r}; known: {sorted(SCALES)}") from None

@@ -1,0 +1,146 @@
+"""Structural-property scenarios: Figs. 2, 6, 7 and 8 (§III-A).
+
+All four study the *shape* of what emerges: flooding duplicate counts
+(the motivation), then depth/degree distributions and sample tree shapes
+of the structures BRISA builds with the first-come strategy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import BrisaConfig, HyParViewConfig, StreamConfig
+from repro.core.structure import extract_structure, structure_summary, to_dot
+from repro.experiments.common import build_brisa_testbed, build_flood_testbed
+from repro.experiments.scale import Scale, get_scale
+from repro.metrics.stats import CDF
+from repro.metrics.structure_analysis import degree_distribution, depth_distribution
+
+
+# ----------------------------------------------------------------------
+# Fig. 2 — duplicates per node under pure flooding
+# ----------------------------------------------------------------------
+@dataclass
+class Fig2Result:
+    """Duplicates-per-node CDF for each active-view size."""
+
+    by_view: dict[int, CDF] = field(default_factory=dict)
+    messages: int = 0
+    nodes: int = 0
+
+    def median_duplicates(self, view: int) -> float:
+        return self.by_view[view].median
+
+
+def fig2_duplicates(
+    scale: Scale | str | None = None,
+    *,
+    view_sizes: tuple[int, ...] = (4, 6, 8, 10),
+    seed: int = 1,
+) -> Fig2Result:
+    """CDF of duplicate receptions per node over the whole stream, for
+    several HyParView view sizes, under plain flooding (Fig. 2)."""
+    sc = scale if isinstance(scale, Scale) else get_scale(scale)
+    result = Fig2Result(messages=sc.messages, nodes=sc.cluster_nodes)
+    for view in view_sizes:
+        hpv = HyParViewConfig(active_size=view)
+        bed = build_flood_testbed(
+            sc.cluster_nodes,
+            seed=seed + view,
+            hpv_config=hpv,
+            join_spacing=sc.join_spacing,
+            settle=sc.settle,
+            record_deliveries=False,
+        )
+        source = bed.choose_source()
+        run = bed.run_stream(
+            source, StreamConfig(count=sc.messages, rate=5.0, payload_bytes=1024)
+        )
+        result.by_view[view] = CDF.of(float(d) for d in run.duplicates_per_node())
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figs. 6 & 7 — depth and degree distributions of emerged structures
+# ----------------------------------------------------------------------
+#: The four configurations both figures sweep.
+STRUCTURE_CONFIGS: tuple[tuple[str, str, int, int], ...] = (
+    ("tree, view=4", "tree", 1, 4),
+    ("tree, view=8", "tree", 1, 8),
+    ("DAG 2 parents, view=4", "dag", 2, 4),
+    ("DAG 2 parents, view=8", "dag", 2, 8),
+)
+
+
+@dataclass
+class StructureDistributions:
+    depth: dict[str, CDF] = field(default_factory=dict)
+    degree: dict[str, CDF] = field(default_factory=dict)
+    nodes: int = 0
+
+
+def _emerged_testbed(sc: Scale, mode: str, parents: int, view: int, seed: int):
+    cfg = BrisaConfig(
+        mode=mode,
+        num_parents=parents,
+        cycle_predictor=BrisaConfig.default_predictor(mode),
+    )
+    hpv = HyParViewConfig(active_size=view)
+    bed = build_brisa_testbed(
+        sc.cluster_nodes,
+        seed=seed,
+        config=cfg,
+        hpv_config=hpv,
+        join_spacing=sc.join_spacing,
+        settle=sc.settle,
+        record_deliveries=False,
+    )
+    source = bed.choose_source()
+    # Build + let the structure stabilize (§III-A: "after building the
+    # respective structure and letting it stabilize").
+    stream = StreamConfig(count=max(20, sc.messages // 5), rate=5.0, payload_bytes=1024)
+    bed.run_stream(source, stream, drain=20.0)
+    return bed, source
+
+
+def fig6_fig7_structure(
+    scale: Scale | str | None = None, *, seed: int = 2
+) -> StructureDistributions:
+    """Depth (Fig. 6) and degree (Fig. 7) CDFs for the four paper
+    configurations, measured on stabilized structures."""
+    sc = scale if isinstance(scale, Scale) else get_scale(scale)
+    out = StructureDistributions(nodes=sc.cluster_nodes)
+    for label, mode, parents, view in STRUCTURE_CONFIGS:
+        bed, source = _emerged_testbed(sc, mode, parents, view, seed)
+        nodes = bed.alive_nodes()
+        out.depth[label] = depth_distribution(nodes, source.node_id, mode)
+        out.degree[label] = degree_distribution(nodes)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Fig. 8 — sample tree shapes (100 nodes, expansion factor 1)
+# ----------------------------------------------------------------------
+@dataclass
+class Fig8Result:
+    dot: dict[int, str] = field(default_factory=dict)
+    summary: dict[int, dict] = field(default_factory=dict)
+
+
+def fig8_tree_shape(
+    *, n: int = 100, view_sizes: tuple[int, ...] = (4, 8), seed: int = 3
+) -> Fig8Result:
+    """Sample trees for view sizes 4 and 8 with expansion factor 1,
+    exported as DOT plus shape summaries (Fig. 8)."""
+    result = Fig8Result()
+    for view in view_sizes:
+        hpv = HyParViewConfig(active_size=view, expansion_factor=1.0)
+        bed = build_brisa_testbed(
+            n, seed=seed + view, hpv_config=hpv, record_deliveries=False
+        )
+        source = bed.choose_source()
+        bed.run_stream(source, StreamConfig(count=20, rate=5.0, payload_bytes=256))
+        g = extract_structure(bed.alive_nodes(), 0)
+        result.dot[view] = to_dot(g, source.node_id)
+        result.summary[view] = structure_summary(g, source.node_id, "tree")
+    return result

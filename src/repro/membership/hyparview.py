@@ -1,0 +1,247 @@
+"""HyParView: hybrid partial view membership (Leitão et al., DSN'07).
+
+The reactive PSS BRISA builds on (§II-A):
+
+- a small **active view** of bidirectional links backed by open TCP
+  connections with heartbeat failure detection — only this view is exposed
+  to the dissemination layer;
+- a larger **passive view** maintained proactively by periodic shuffles,
+  used as a reservoir of replacements when active entries fail.
+
+Two paper-specific behaviours are implemented faithfully:
+
+- **Expansion factor** (§II-A): the active view may grow up to
+  ``active_size * expansion_factor`` before a join evicts somebody, and an
+  eviction does *not* trigger a replacement while the view is still at or
+  above the target size.  This damps the eviction chain reactions seen
+  when bootstrapping with full views.
+- **Bidirectionality**: every active link is mutual, which is what makes
+  flooding complete without anti-entropy (§II-A) — the property BRISA's
+  correctness rests on.
+"""
+
+from __future__ import annotations
+
+from repro.config import HyParViewConfig
+from repro.ids import NodeId
+from repro.membership import messages as m
+from repro.membership.base import PeerSamplingNode
+
+
+class HyParViewNode(PeerSamplingNode):
+    """One HyParView participant."""
+
+    def __init__(
+        self,
+        network,
+        node_id: NodeId,
+        config: HyParViewConfig | None = None,
+    ) -> None:
+        super().__init__(network, node_id)
+        self.hpv_config = config if config is not None else HyParViewConfig()
+        #: Active view: insertion-ordered for deterministic iteration.
+        self.active: dict[NodeId, None] = {}
+        #: Passive view.
+        self.passive: set[NodeId] = set()
+        #: Peers we have sent a Neighbor request to and not heard back from.
+        self._pending_neighbor: set[NodeId] = set()
+        self._shuffle_task = self.periodic(
+            self.hpv_config.shuffle_period, self._shuffle, jitter=0.2
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def neighbors(self) -> list[NodeId]:
+        return list(self.active)
+
+    @property
+    def degree(self) -> int:
+        return len(self.active)
+
+    def is_active(self, peer: NodeId) -> bool:
+        return peer in self.active
+
+    # ------------------------------------------------------------------
+    # Join protocol
+    # ------------------------------------------------------------------
+    def join(self, contact: NodeId) -> None:
+        """Join the overlay through ``contact`` (§II-F: the new node is
+        provided with an active view via its contact point)."""
+        self.send(contact, m.Join())
+
+    def on_hpv_join(self, src: NodeId, msg: m.Join) -> None:
+        self._add_active(src)
+        # Confirm the mutual link so the joiner installs us symmetrically.
+        self.send(src, m.NeighborAccept())
+        ttl = self.hpv_config.arwl
+        for peer in list(self.active):
+            if peer != src:
+                self.send(peer, m.ForwardJoin(src, ttl))
+
+    def on_hpv_forward_join(self, src: NodeId, msg: m.ForwardJoin) -> None:
+        joiner, ttl = msg.joiner, msg.ttl
+        if joiner == self.node_id or joiner in self.active:
+            return
+        if ttl <= 0 or len(self.active) <= 1:
+            self._request_neighbor(joiner, priority=True)
+            return
+        if ttl == self.hpv_config.prwl:
+            self._add_passive(joiner)
+        candidates = [p for p in self.active if p not in (src, joiner)]
+        if candidates:
+            target = self._rng.choice(candidates)
+            self.send(target, m.ForwardJoin(joiner, ttl - 1))
+        else:
+            self._request_neighbor(joiner, priority=True)
+
+    # ------------------------------------------------------------------
+    # Active-view management
+    # ------------------------------------------------------------------
+    def _add_active(self, peer: NodeId) -> None:
+        """Insert ``peer`` into the active view, evicting if at the cap."""
+        if peer == self.node_id or peer in self.active:
+            return
+        if len(self.active) >= self.hpv_config.max_active:
+            victim = self._rng.choice(list(self.active))
+            # Room is being made for an immediate insertion: do not seek a
+            # replacement, or the freed slot gets re-filled and the new
+            # peer evicted right back out.
+            self._drop_active(victim, failure=False, notify_peer=True, replace=False)
+        self.passive.discard(peer)
+        self._pending_neighbor.discard(peer)
+        self.active[peer] = None
+        self.network.register_link(self.node_id, peer)
+        self._notify_up(peer)
+
+    def _drop_active(
+        self, peer: NodeId, *, failure: bool, notify_peer: bool, replace: bool = True
+    ) -> None:
+        if peer not in self.active:
+            return
+        del self.active[peer]
+        self.network.unregister_link(self.node_id, peer)
+        if notify_peer:
+            self.send(peer, m.Disconnect())
+        if not failure:
+            # Evicted peers stay reachable through the passive view.
+            self._add_passive(peer)
+        self._notify_down(peer, failure)
+        if replace:
+            self._maybe_replace()
+
+    def _maybe_replace(self) -> None:
+        """Promote from the passive view only below the *target* size —
+        between target and target×expansion no replacement happens (§II-A)."""
+        if len(self.active) + len(self._pending_neighbor) >= self.hpv_config.active_size:
+            return
+        candidates = [p for p in self.passive if p not in self._pending_neighbor]
+        if not candidates:
+            return
+        candidate = self._rng.choice(candidates)
+        self._request_neighbor(candidate, priority=len(self.active) == 0)
+
+    def _request_neighbor(self, peer: NodeId, priority: bool) -> None:
+        if peer == self.node_id or peer in self.active or peer in self._pending_neighbor:
+            return
+        self._pending_neighbor.add(peer)
+        self.send(peer, m.Neighbor(priority))
+
+    def on_hpv_neighbor(self, src: NodeId, msg: m.Neighbor) -> None:
+        # Priority requests (orphaned/forced joins) are always accepted;
+        # normal requests only when below the expanded cap.
+        if msg.priority or len(self.active) < self.hpv_config.max_active:
+            self._add_active(src)
+            self.send(src, m.NeighborAccept())
+        else:
+            self.send(src, m.NeighborReject())
+
+    def on_hpv_neighbor_accept(self, src: NodeId, msg: m.NeighborAccept) -> None:
+        self._pending_neighbor.discard(src)
+        self._add_active(src)
+
+    def on_hpv_neighbor_reject(self, src: NodeId, msg: m.NeighborReject) -> None:
+        self._pending_neighbor.discard(src)
+        # The candidate is alive but full; keep it in the passive view and
+        # try another one if we are still short.
+        self._maybe_replace()
+
+    def on_hpv_disconnect(self, src: NodeId, msg: m.Disconnect) -> None:
+        if src in self.active:
+            self._drop_active(src, failure=False, notify_peer=False)
+
+    # ------------------------------------------------------------------
+    # Failure handling
+    # ------------------------------------------------------------------
+    def on_link_failed(self, peer: NodeId) -> None:
+        """Heartbeat/TCP failure detection on an active-view connection
+        (§II-A): replace the failed neighbour from the passive view."""
+        self.passive.discard(peer)
+        self._pending_neighbor.discard(peer)
+        if peer in self.active:
+            del self.active[peer]
+            self.network.unregister_link(self.node_id, peer)
+            self._notify_down(peer, failure=True)
+        self._maybe_replace()
+
+    # ------------------------------------------------------------------
+    # Passive view maintenance (shuffles)
+    # ------------------------------------------------------------------
+    def _add_passive(self, peer: NodeId, sent_away: set[NodeId] | None = None) -> None:
+        if peer == self.node_id or peer in self.active or peer in self.passive:
+            return
+        if len(self.passive) >= self.hpv_config.passive_size:
+            # Prefer dropping entries we just shipped out in a shuffle.
+            droppable = list(sent_away & self.passive) if sent_away else []
+            victim = (
+                self._rng.choice(droppable)
+                if droppable
+                else self._rng.choice(list(self.passive))
+            )
+            self.passive.discard(victim)
+        self.passive.add(peer)
+
+    def _shuffle_sample(self) -> tuple[NodeId, ...]:
+        cfg = self.hpv_config
+        active_sample = self._rng.sample(
+            list(self.active), min(cfg.shuffle_active, len(self.active))
+        )
+        passive_sample = self._rng.sample(
+            list(self.passive), min(cfg.shuffle_passive, len(self.passive))
+        )
+        return tuple({self.node_id, *active_sample, *passive_sample})
+
+    def _shuffle(self) -> None:
+        if not self.active:
+            return
+        target = self._rng.choice(list(self.active))
+        self.send(target, m.Shuffle(self.node_id, self._shuffle_sample(), self.hpv_config.prwl))
+
+    def on_hpv_shuffle(self, src: NodeId, msg: m.Shuffle) -> None:
+        if msg.ttl > 0 and len(self.active) > 1:
+            candidates = [p for p in self.active if p not in (src, msg.origin)]
+            if candidates:
+                target = self._rng.choice(candidates)
+                self.send(target, m.Shuffle(msg.origin, msg.entries, msg.ttl - 1))
+                return
+        # Walk ended here: integrate and answer the origin with our sample.
+        reply_sample = self._shuffle_sample()
+        if msg.origin != self.node_id:
+            self.send(msg.origin, m.ShuffleReply(reply_sample))
+        self._integrate(msg.entries, sent_away=set(reply_sample))
+
+    def on_hpv_shuffle_reply(self, src: NodeId, msg: m.ShuffleReply) -> None:
+        self._integrate(msg.entries, sent_away=None)
+
+    def _integrate(self, entries: tuple[NodeId, ...], sent_away: set[NodeId] | None) -> None:
+        for peer in entries:
+            self._add_passive(peer, sent_away)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def on_crash(self) -> None:
+        super().on_crash()
+        self.active.clear()
+        self.passive.clear()
+        self._pending_neighbor.clear()

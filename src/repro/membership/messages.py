@@ -1,0 +1,135 @@
+"""Wire messages of the membership layer (HyParView + Cyclon).
+
+Message kinds are prefixed (``hpv_``, ``cyc_``) so that several protocol
+layers can coexist on one node without handler collisions.  Sizes follow
+the id-size accounting of :mod:`repro.ids`.
+"""
+
+from __future__ import annotations
+
+from repro.ids import NODE_ID_BYTES, NodeId
+from repro.sim.message import Message
+
+#: Bytes per (id, age) entry exchanged in view shuffles.
+ENTRY_BYTES = NODE_ID_BYTES + 2
+
+
+class Join(Message):
+    """New node announces itself to its contact point."""
+
+    kind = "hpv_join"
+    __slots__ = ()
+
+
+class ForwardJoin(Message):
+    """Random-walk propagation of a join through the overlay."""
+
+    kind = "hpv_forward_join"
+    __slots__ = ("joiner", "ttl")
+
+    def __init__(self, joiner: NodeId, ttl: int) -> None:
+        self.joiner = joiner
+        self.ttl = ttl
+
+    def body_bytes(self) -> int:
+        return NODE_ID_BYTES + 1
+
+
+class Neighbor(Message):
+    """Request to establish a (bidirectional) active-view link."""
+
+    kind = "hpv_neighbor"
+    __slots__ = ("priority",)
+
+    def __init__(self, priority: bool) -> None:
+        self.priority = priority
+
+    def body_bytes(self) -> int:
+        return 1
+
+
+class NeighborAccept(Message):
+    kind = "hpv_neighbor_accept"
+    __slots__ = ()
+
+
+class NeighborReject(Message):
+    kind = "hpv_neighbor_reject"
+    __slots__ = ()
+
+
+class Disconnect(Message):
+    """Graceful removal from the active view (eviction, not failure)."""
+
+    kind = "hpv_disconnect"
+    __slots__ = ()
+
+
+class Shuffle(Message):
+    """Passive-view shuffle walking ``ttl`` hops from ``origin``."""
+
+    kind = "hpv_shuffle"
+    __slots__ = ("origin", "entries", "ttl")
+
+    def __init__(self, origin: NodeId, entries: tuple[NodeId, ...], ttl: int) -> None:
+        self.origin = origin
+        self.entries = entries
+        self.ttl = ttl
+
+    def body_bytes(self) -> int:
+        return NODE_ID_BYTES + 1 + len(self.entries) * ENTRY_BYTES
+
+
+class ShuffleReply(Message):
+    kind = "hpv_shuffle_reply"
+    __slots__ = ("entries",)
+
+    def __init__(self, entries: tuple[NodeId, ...]) -> None:
+        self.entries = entries
+
+    def body_bytes(self) -> int:
+        return len(self.entries) * ENTRY_BYTES
+
+
+class CyclonShuffle(Message):
+    """Cyclon shuffle request: (peer, age) descriptors incl. the sender."""
+
+    kind = "cyc_shuffle"
+    __slots__ = ("entries",)
+
+    def __init__(self, entries: tuple[tuple[NodeId, int], ...]) -> None:
+        self.entries = entries
+
+    def body_bytes(self) -> int:
+        return len(self.entries) * ENTRY_BYTES
+
+
+class CyclonShuffleReply(Message):
+    kind = "cyc_shuffle_reply"
+    __slots__ = ("entries",)
+
+    def __init__(self, entries: tuple[tuple[NodeId, int], ...]) -> None:
+        self.entries = entries
+
+    def body_bytes(self) -> int:
+        return len(self.entries) * ENTRY_BYTES
+
+
+class CyclonJoin(Message):
+    """Join request to a contact node."""
+
+    kind = "cyc_join"
+    __slots__ = ()
+
+
+class CyclonJoinReply(Message):
+    """Contact seeds the joiner with a sample of its view."""
+
+    kind = "cyc_join_reply"
+    __slots__ = ("entries",)
+
+    def __init__(self, entries: tuple[tuple[NodeId, int], ...]) -> None:
+        self.entries = entries
+
+    def body_bytes(self) -> int:
+        return len(self.entries) * ENTRY_BYTES

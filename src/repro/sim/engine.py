@@ -1,0 +1,194 @@
+"""Event engine: binary-heap scheduler with cancellable handles.
+
+The engine is intentionally minimal and allocation-light: events are
+``(time, seq, handle)`` heap entries where ``seq`` breaks ties in FIFO
+order, making same-timestamp processing deterministic.  Cancellation is
+lazy (a flag on the handle) so cancel is O(1) and the heap never needs
+re-sifting — the standard pattern for high-churn simulations where most
+timers are cancelled before firing.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Optional
+
+from repro.errors import SimulationError
+from repro.sim.rng import derive
+
+
+class EventHandle:
+    """Handle to a scheduled event; ``cancel()`` is O(1) and idempotent."""
+
+    __slots__ = ("time", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, fn: Callable, args: tuple) -> None:
+        self.time = time
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+        # Drop references early: cancelled events may sit in the heap for a
+        # long time and would otherwise pin node/message objects in memory.
+        self.fn = None  # type: ignore[assignment]
+        self.args = ()
+
+    @property
+    def active(self) -> bool:
+        return not self.cancelled
+
+
+class Simulator:
+    """Discrete-event simulator with virtual time in seconds."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.now: float = 0.0
+        self.seed = seed
+        self._heap: list[tuple[float, int, EventHandle]] = []
+        self._seq = 0
+        self._running = False
+        self._stopped = False
+        self.events_processed = 0
+
+    # ------------------------------------------------------------------
+    # Randomness
+    # ------------------------------------------------------------------
+    def rng(self, *labels: object):
+        """Independent RNG stream derived from the simulation seed."""
+        return derive(self.seed, *labels)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable, *args) -> EventHandle:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at(self.now + delay, fn, *args)
+
+    def schedule_at(self, time: float, fn: Callable, *args) -> EventHandle:
+        """Schedule ``fn(*args)`` at an absolute virtual time."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time} before current time {self.now}"
+            )
+        handle = EventHandle(time, fn, args)
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, handle))
+        return handle
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Process events until the heap drains, ``until`` is reached, or
+        ``max_events`` have run.  Returns the number of events processed.
+
+        When ``until`` is given, virtual time is advanced to exactly
+        ``until`` on return even if the heap drained earlier, so periodic
+        bookkeeping that reads ``sim.now`` stays consistent.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        self._stopped = False
+        processed = 0
+        heap = self._heap
+        try:
+            while heap and not self._stopped:
+                time, _, handle = heap[0]
+                if until is not None and time > until:
+                    break
+                if max_events is not None and processed >= max_events:
+                    break
+                heapq.heappop(heap)
+                if handle.cancelled:
+                    continue
+                self.now = time
+                handle.fn(*handle.args)
+                processed += 1
+        finally:
+            self._running = False
+        if until is not None and not self._stopped and self.now < until:
+            self.now = until
+        self.events_processed += processed
+        return processed
+
+    def stop(self) -> None:
+        """Stop the current ``run()`` after the in-flight event returns."""
+        self._stopped = True
+
+    @property
+    def pending(self) -> int:
+        """Number of heap entries (including lazily-cancelled ones)."""
+        return len(self._heap)
+
+    def next_event_time(self) -> Optional[float]:
+        """Timestamp of the next live event, or None if the heap is empty."""
+        while self._heap and self._heap[0][2].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0][0] if self._heap else None
+
+
+class PeriodicTask:
+    """Re-scheduling periodic callback with optional uniform jitter.
+
+    Protocol timers (shuffles, keep-alives, pulls) use jitter to avoid the
+    lock-step synchrony a real deployment never exhibits.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        period: float,
+        fn: Callable[[], None],
+        *,
+        jitter: float = 0.0,
+        rng=None,
+        start_delay: Optional[float] = None,
+    ) -> None:
+        if period <= 0:
+            raise SimulationError("period must be positive")
+        if not 0.0 <= jitter < 1.0:
+            raise SimulationError("jitter must be in [0, 1)")
+        self.sim = sim
+        self.period = period
+        self.fn = fn
+        self.jitter = jitter
+        self.rng = rng
+        self._handle: Optional[EventHandle] = None
+        self._running = False
+        self._start_delay = start_delay
+
+    def _next_delay(self) -> float:
+        if self.jitter and self.rng is not None:
+            spread = self.period * self.jitter
+            return self.period + self.rng.uniform(-spread, spread)
+        return self.period
+
+    def start(self) -> "PeriodicTask":
+        if self._running:
+            return self
+        self._running = True
+        delay = self._start_delay if self._start_delay is not None else self._next_delay()
+        self._handle = self.sim.schedule(max(0.0, delay), self._fire)
+        return self
+
+    def _fire(self) -> None:
+        if not self._running:
+            return
+        self.fn()
+        if self._running:  # fn() may have stopped us
+            self._handle = self.sim.schedule(self._next_delay(), self._fire)
+
+    def stop(self) -> None:
+        self._running = False
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    @property
+    def running(self) -> bool:
+        return self._running

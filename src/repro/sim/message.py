@@ -1,0 +1,34 @@
+"""Base wire-message class with size accounting.
+
+Each concrete message declares a class-level ``kind`` string; protocol
+nodes dispatch on it via ``on_<kind>`` handler methods (see
+:class:`repro.sim.node.ProtocolNode`).  ``size_bytes`` drives the byte
+accounting behind every bandwidth figure — subclasses add payload and
+metadata (embedded paths, depth labels, digests) on top of the fixed
+framing overhead.
+"""
+
+from __future__ import annotations
+
+from repro.ids import HEADER_BYTES
+
+
+class Message:
+    """Base class for every simulated wire message."""
+
+    kind: str = "message"
+
+    __slots__ = ()
+
+    def size_bytes(self) -> int:
+        """Total on-the-wire size, including framing overhead."""
+        return HEADER_BYTES + self.body_bytes()
+
+    def body_bytes(self) -> int:
+        """Payload + metadata size; subclasses override."""
+        return 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        fields = getattr(self, "__slots__", ())
+        inner = ", ".join(f"{f}={getattr(self, f)!r}" for f in fields)
+        return f"{type(self).__name__}({inner})"

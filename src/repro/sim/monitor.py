@@ -1,0 +1,204 @@
+"""Metric collection with phase accounting.
+
+The paper separates *stabilization* bandwidth (overlay + structure
+bootstrap) from *dissemination* bandwidth (Fig. 12); :class:`Metrics`
+tags every byte with the phase active at send time.  Delivery recording
+feeds the duplicates CDF (Fig. 2), routing delays (Fig. 9), dissemination
+latency (Table II) and the repair statistics (Table I, Figs. 13–14).
+
+Recording is plain-dict hot-path cheap; the NumPy conversion happens once
+at analysis time (see :mod:`repro.metrics.stats`), per the HPC guides'
+"profile, then vectorize the aggregation" advice.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.ids import NodeId, StreamId
+
+#: Phase names used across all experiments.
+STABILIZATION = "stabilization"
+DISSEMINATION = "dissemination"
+
+
+@dataclass
+class DeliveryRecord:
+    """First delivery of one (stream, seq) at one node."""
+
+    time: float
+    sender: NodeId
+    hops: int
+    #: Sum of sampled per-hop delays from the source (Fig. 9's cumulative
+    #: per-hop routing delay).
+    path_delay: float
+
+
+@dataclass
+class RepairEvent:
+    """One parent-repair episode at a node (§II-F, Table I, Fig. 14)."""
+
+    time: float
+    node: NodeId
+    kind: str  # 'soft' | 'hard'
+    duration: float  # detection -> new parent active
+    stream: StreamId = 0
+
+
+@dataclass
+class ConstructionProbe:
+    """Structure construction interval at one node (Fig. 13)."""
+
+    node: NodeId
+    start: float  # first deactivation sent (BRISA) / join start (TAG)
+    end: float  # all-but-target inbound links deactivated / list settled
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Metrics:
+    """Central metric sink shared by all nodes of one simulation."""
+
+    def __init__(self, record_deliveries: bool = True) -> None:
+        self.record_deliveries = record_deliveries
+        self.phase: str = STABILIZATION
+        self.phase_starts: dict[str, float] = {STABILIZATION: 0.0}
+        self.phase_ends: dict[str, float] = {}
+        # node -> phase -> bytes
+        self.bytes_sent: dict[NodeId, dict[str, int]] = defaultdict(lambda: defaultdict(int))
+        self.bytes_received: dict[NodeId, dict[str, int]] = defaultdict(lambda: defaultdict(int))
+        # message-kind -> phase -> count
+        self.msg_counts: dict[str, dict[str, int]] = defaultdict(lambda: defaultdict(int))
+        # (stream, seq) -> node -> DeliveryRecord (first delivery only)
+        self.deliveries: dict[tuple[StreamId, int], dict[NodeId, DeliveryRecord]] = defaultdict(dict)
+        # node -> number of duplicate receptions (all streams)
+        self.duplicates: dict[NodeId, int] = defaultdict(int)
+        # (stream, seq) -> injection time at the source
+        self.injections: dict[tuple[StreamId, int], float] = {}
+        self.repair_events: list[RepairEvent] = []
+        self.parent_losses: list[tuple[float, NodeId]] = []
+        self.orphan_events: list[tuple[float, NodeId]] = []
+        self.construction_probes: list[ConstructionProbe] = []
+        self.counters: dict[str, int] = defaultdict(int)
+
+    # ------------------------------------------------------------------
+    # Phases
+    # ------------------------------------------------------------------
+    def set_phase(self, phase: str, now: float) -> None:
+        """Close the current phase and open ``phase`` at time ``now``."""
+        if phase == self.phase:
+            return
+        self.phase_ends[self.phase] = now
+        self.phase = phase
+        self.phase_starts.setdefault(phase, now)
+
+    def close(self, now: float) -> None:
+        """Mark the end of the final phase (for rate computations)."""
+        self.phase_ends[self.phase] = now
+
+    def phase_duration(self, phase: str) -> float:
+        start = self.phase_starts.get(phase)
+        if start is None:
+            return 0.0
+        end = self.phase_ends.get(phase, start)
+        return max(0.0, end - start)
+
+    # ------------------------------------------------------------------
+    # Traffic
+    # ------------------------------------------------------------------
+    def account_send(self, node: NodeId, kind: str, nbytes: int) -> None:
+        self.bytes_sent[node][self.phase] += nbytes
+        self.msg_counts[kind][self.phase] += 1
+
+    def account_receive(self, node: NodeId, nbytes: int) -> None:
+        self.bytes_received[node][self.phase] += nbytes
+
+    def account_overhead(self, node: NodeId, phase: str, sent: int, received: int) -> None:
+        """Analytically-accounted traffic (keep-alives; see DESIGN.md §5)."""
+        self.bytes_sent[node][phase] += sent
+        self.bytes_received[node][phase] += received
+
+    # ------------------------------------------------------------------
+    # Deliveries
+    # ------------------------------------------------------------------
+    def record_injection(self, stream: StreamId, seq: int, time: float) -> None:
+        self.injections[(stream, seq)] = time
+
+    def record_delivery(
+        self,
+        node: NodeId,
+        stream: StreamId,
+        seq: int,
+        time: float,
+        sender: NodeId,
+        hops: int,
+        path_delay: float,
+    ) -> bool:
+        """Record a reception; returns True iff it was the first delivery."""
+        key = (stream, seq)
+        per_node = self.deliveries[key]
+        if node in per_node:
+            self.duplicates[node] += 1
+            return False
+        if self.record_deliveries:
+            per_node[node] = DeliveryRecord(time, sender, hops, path_delay)
+        else:  # still need first/dup distinction, so store a sentinel
+            per_node[node] = _SENTINEL
+        return True
+
+    def record_duplicate(self, node: NodeId) -> None:
+        self.duplicates[node] += 1
+
+    # ------------------------------------------------------------------
+    # Repairs & probes
+    # ------------------------------------------------------------------
+    def record_parent_loss(self, time: float, node: NodeId) -> None:
+        self.parent_losses.append((time, node))
+
+    def record_orphan(self, time: float, node: NodeId) -> None:
+        self.orphan_events.append((time, node))
+
+    def record_repair(
+        self, time: float, node: NodeId, kind: str, duration: float, stream: StreamId = 0
+    ) -> None:
+        self.repair_events.append(RepairEvent(time, node, kind, duration, stream))
+
+    def record_construction(self, node: NodeId, start: float, end: float) -> None:
+        self.construction_probes.append(ConstructionProbe(node, start, end))
+
+    def incr(self, name: str, n: int = 1) -> None:
+        self.counters[name] += n
+
+    # ------------------------------------------------------------------
+    # Simple queries (heavier analysis lives in repro.metrics)
+    # ------------------------------------------------------------------
+    def duplicates_per_node(self, nodes) -> list[int]:
+        return [self.duplicates.get(n, 0) for n in nodes]
+
+    def delivery_times(self, stream: StreamId, seq: int) -> dict[NodeId, float]:
+        return {
+            n: rec.time
+            for n, rec in self.deliveries.get((stream, seq), {}).items()
+            if rec is not _SENTINEL
+        }
+
+    def total_bytes(self, phase: Optional[str] = None) -> int:
+        total = 0
+        for per_phase in self.bytes_sent.values():
+            if phase is None:
+                total += sum(per_phase.values())
+            else:
+                total += per_phase.get(phase, 0)
+        return total
+
+    def node_bytes(self, node: NodeId, phase: str, direction: str = "sent") -> int:
+        book = self.bytes_sent if direction == "sent" else self.bytes_received
+        return book.get(node, {}).get(phase, 0)
+
+
+#: Shared sentinel for delivery bookkeeping when full records are disabled.
+_SENTINEL = DeliveryRecord(0.0, -1, 0, 0.0)

@@ -1,0 +1,235 @@
+"""Simulated network: node registry, delivery, crashes, failure detection.
+
+The network delivers messages with latencies drawn from a
+:class:`repro.sim.latency.LatencyModel`, accounts every byte into
+:class:`repro.sim.monitor.Metrics`, and models the failure-detection
+behaviour the paper relies on: each *registered link* (an open TCP
+connection of the HyParView active view) produces an
+``on_link_failed(peer)`` notification at the surviving endpoint a
+keep-alive-detection delay after a crash (§II-A, §II-F).
+
+Messages in flight to a crashed node are dropped at delivery time — the
+TCP connection would have been reset — and, if the link was registered,
+the sender is notified through the same failure-detection path.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Optional
+
+from repro.errors import SimulationError
+from repro.ids import NodeId
+from repro.sim.engine import Simulator
+from repro.sim.latency import ConstantLatency, LatencyModel
+from repro.sim.message import Message
+from repro.sim.monitor import Metrics
+from repro.sim.node import ProtocolNode
+from repro.sim.rng import derive
+
+
+class Network:
+    """Registry + message fabric shared by all nodes of one simulation."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency: Optional[LatencyModel] = None,
+        metrics: Optional[Metrics] = None,
+        *,
+        keepalive_period: float = 1.0,
+        capacity_sigma: float = 0.5,
+    ) -> None:
+        self.sim = sim
+        self.latency = latency if latency is not None else ConstantLatency()
+        self.metrics = metrics if metrics is not None else Metrics()
+        self.keepalive_period = keepalive_period
+        self.capacity_sigma = capacity_sigma
+        self.nodes: dict[NodeId, ProtocolNode] = {}
+        self._next_id = 0
+        #: Registered TCP links, by endpoint.
+        self.links: dict[NodeId, set[NodeId]] = defaultdict(set)
+        #: (observer, failed) pairs already notified, to de-duplicate
+        #: crash-driven and send-failure-driven notifications.
+        self._notified: set[tuple[NodeId, NodeId]] = set()
+        self._rng = derive(sim.seed, "network")
+        self._capacities: dict[NodeId, float] = {}
+        #: Observers called as fn(node_id) after a crash is applied.
+        self.crash_listeners: list[Callable[[NodeId], None]] = []
+        #: Per-node occupancy horizon: one shared CPU/NIC queue per node.
+        #: Sends and receive-processing serialize against each other —
+        #: the single-core model that makes duplicate processing delay a
+        #: node's own forwards (the §III-B "heavy load" effect).
+        self._busy: dict[NodeId, float] = {}
+
+    # ------------------------------------------------------------------
+    # Node lifecycle
+    # ------------------------------------------------------------------
+    def allocate_id(self) -> NodeId:
+        nid = self._next_id
+        self._next_id += 1
+        return nid
+
+    def add_node(self, node: ProtocolNode) -> ProtocolNode:
+        if node.node_id in self.nodes:
+            raise SimulationError(f"node id {node.node_id} already registered")
+        self.nodes[node.node_id] = node
+        return node
+
+    def spawn(self, factory: Callable[["Network", NodeId], ProtocolNode]) -> ProtocolNode:
+        """Allocate an id, build a node with ``factory`` and register it."""
+        nid = self.allocate_id()
+        return self.add_node(factory(self, nid))
+
+    def alive(self, node_id: NodeId) -> bool:
+        node = self.nodes.get(node_id)
+        return node is not None and node.alive
+
+    def node(self, node_id: NodeId) -> ProtocolNode:
+        return self.nodes[node_id]
+
+    def alive_ids(self) -> list[NodeId]:
+        return [nid for nid, node in self.nodes.items() if node.alive]
+
+    def crash(self, node_id: NodeId) -> None:
+        """Fail a node: stop it, notify linked peers after detection delay."""
+        node = self.nodes.get(node_id)
+        if node is None or not node.alive:
+            return
+        node.on_crash()
+        self.metrics.incr("crashes")
+        for peer in list(self.links.get(node_id, ())):
+            self._unlink(node_id, peer)
+            self._schedule_failure_notice(peer, node_id)
+        self.links.pop(node_id, None)
+        for listener in self.crash_listeners:
+            listener(node_id)
+
+    # ------------------------------------------------------------------
+    # Links & failure detection
+    # ------------------------------------------------------------------
+    def register_link(self, a: NodeId, b: NodeId) -> None:
+        """Record an open TCP connection between two live nodes."""
+        if a == b:
+            raise SimulationError("cannot link a node to itself")
+        self.links[a].add(b)
+        self.links[b].add(a)
+        self._notified.discard((a, b))
+        self._notified.discard((b, a))
+
+    def unregister_link(self, a: NodeId, b: NodeId) -> None:
+        self._unlink(a, b)
+
+    def _unlink(self, a: NodeId, b: NodeId) -> None:
+        self.links.get(a, set()).discard(b)
+        self.links.get(b, set()).discard(a)
+
+    def linked(self, a: NodeId, b: NodeId) -> bool:
+        return b in self.links.get(a, ())
+
+    def _schedule_failure_notice(self, observer: NodeId, failed: NodeId) -> None:
+        if (observer, failed) in self._notified:
+            return
+        self._notified.add((observer, failed))
+        delay = self._rng.uniform(0.5, 1.5) * self.keepalive_period
+        self.sim.schedule(delay, self._deliver_failure_notice, observer, failed)
+
+    def _deliver_failure_notice(self, observer: NodeId, failed: NodeId) -> None:
+        node = self.nodes.get(observer)
+        if node is not None and node.alive and not self.alive(failed):
+            node.on_link_failed(failed)
+
+    # ------------------------------------------------------------------
+    # Messaging
+    # ------------------------------------------------------------------
+    def send(self, src: NodeId, dst: NodeId, msg: Message) -> None:
+        """Send ``msg`` from ``src`` to ``dst``.
+
+        Total delay = sender serialization queue (NIC bandwidth + per-
+        message processing, serialized per node) + propagation latency +
+        receiver processing queue.  With a zero-cost latency model this
+        reduces to pure propagation delay.
+        """
+        if src == dst:
+            raise SimulationError(f"node {src} attempted to message itself")
+        sender = self.nodes.get(src)
+        if sender is None or not sender.alive:
+            return
+        size = msg.size_bytes()
+        self.metrics.account_send(src, msg.kind, size)
+        now = self.sim.now
+        tx_cost = self.latency.tx_cost(src, size)
+        if tx_cost > 0.0:
+            tx_done = max(now, self._busy.get(src, now)) + tx_cost
+            self._busy[src] = tx_done
+        else:
+            tx_done = now
+        arrival = tx_done + self.latency.sample(src, dst)
+        self.sim.schedule_at(arrival, self._deliver, src, dst, msg, size)
+
+    def _deliver(self, src: NodeId, dst: NodeId, msg: Message, size: int) -> None:
+        node = self.nodes.get(dst)
+        if node is None or not node.alive:
+            # TCP reset: a sender holding an open connection learns of the
+            # failure through the regular detection path.
+            if self.linked(src, dst) or self.linked(dst, src):
+                self._unlink(src, dst)
+                self._schedule_failure_notice(src, dst)
+            return
+        rx_cost = self.latency.rx_cost(dst, size)
+        if rx_cost > 0.0:
+            now = self.sim.now
+            ready = max(now, self._busy.get(dst, now)) + rx_cost
+            self._busy[dst] = ready
+            self.sim.schedule_at(ready, self._process, src, dst, msg, size)
+        else:
+            self._process(src, dst, msg, size)
+
+    def _process(self, src: NodeId, dst: NodeId, msg: Message, size: int) -> None:
+        node = self.nodes.get(dst)
+        if node is None or not node.alive:
+            return
+        self.metrics.account_receive(dst, size)
+        node.handle_message(src, msg)
+
+    # ------------------------------------------------------------------
+    # Measurements available to protocol logic
+    # ------------------------------------------------------------------
+    def rtt(self, a: NodeId, b: NodeId) -> float:
+        """Keep-alive-measured RTT estimate between two nodes (§II-E:
+        delay-aware selection leverages HyParView keep-alive RTTs)."""
+        return self.latency.expected_rtt(a, b)
+
+    def capacity(self, node_id: NodeId) -> float:
+        """Per-node relative capacity (heterogeneity-aware strategy)."""
+        cap = self._capacities.get(node_id)
+        if cap is None:
+            cap = derive(self.sim.seed, "capacity", node_id).lognormvariate(
+                0.0, self.capacity_sigma
+            )
+            self._capacities[node_id] = cap
+        return cap
+
+    # ------------------------------------------------------------------
+    # Analytic keep-alive accounting (see DESIGN.md §5)
+    # ------------------------------------------------------------------
+    def account_keepalives(self, phase: str, duration: float, ka_bytes: int = 48) -> None:
+        """Charge keep-alive traffic for ``duration`` seconds of ``phase``.
+
+        Each registered link carries one probe + one ack per keep-alive
+        period in each direction.  This is accounted analytically instead
+        of being simulated per-packet (it changes no protocol decision).
+        """
+        if duration <= 0:
+            return
+        probes = duration / self.keepalive_period
+        per_link_bytes = int(round(probes * ka_bytes))
+        for node_id, peers in self.links.items():
+            if not self.alive(node_id):
+                continue
+            n = len(peers)
+            if n == 0:
+                continue
+            self.metrics.account_overhead(
+                node_id, phase, sent=per_link_bytes * n, received=per_link_bytes * n
+            )

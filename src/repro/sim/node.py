@@ -1,0 +1,103 @@
+"""Protocol-node base class: message dispatch, guarded timers, lifecycle.
+
+Concrete protocol layers (HyParView, Cyclon, BRISA, the baselines) extend
+:class:`ProtocolNode`.  Messages dispatch to ``on_<kind>`` methods; timers
+created through :meth:`after`/:meth:`periodic` are automatically silenced
+when the node crashes, so failure injection can never resurrect a node
+through a stale callback.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import ProtocolError
+from repro.ids import NodeId
+from repro.sim.engine import EventHandle, PeriodicTask
+from repro.sim.message import Message
+
+
+class ProtocolNode:
+    """A simulated process participating in the overlay."""
+
+    def __init__(self, network, node_id: NodeId) -> None:
+        self.network = network
+        self.sim = network.sim
+        self.node_id = node_id
+        self.alive = True
+        self.birth_time = self.sim.now
+        self._tasks: list[PeriodicTask] = []
+        self._rng = self.sim.rng("node", node_id, type(self).__name__)
+
+    # ------------------------------------------------------------------
+    # Identity / introspection
+    # ------------------------------------------------------------------
+    @property
+    def uptime(self) -> float:
+        """Seconds since this node joined (gerontocratic strategy input)."""
+        return self.sim.now - self.birth_time
+
+    @property
+    def capacity(self) -> float:
+        """Relative bandwidth capacity (heterogeneity strategy input)."""
+        return self.network.capacity(self.node_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "up" if self.alive else "down"
+        return f"<{type(self).__name__} {self.node_id} {state}>"
+
+    # ------------------------------------------------------------------
+    # Messaging
+    # ------------------------------------------------------------------
+    def send(self, dst: NodeId, msg: Message) -> None:
+        self.network.send(self.node_id, dst, msg)
+
+    def handle_message(self, src: NodeId, msg: Message) -> None:
+        if not self.alive:
+            return
+        handler = getattr(self, "on_" + msg.kind, None)
+        if handler is None:
+            raise ProtocolError(
+                f"{type(self).__name__} has no handler for message kind {msg.kind!r}"
+            )
+        handler(src, msg)
+
+    # ------------------------------------------------------------------
+    # Timers (all guarded on liveness)
+    # ------------------------------------------------------------------
+    def after(self, delay: float, fn: Callable, *args) -> EventHandle:
+        def guarded() -> None:
+            if self.alive:
+                fn(*args)
+
+        return self.sim.schedule(delay, guarded)
+
+    def periodic(
+        self, period: float, fn: Callable[[], None], *, jitter: float = 0.1,
+        start_delay: Optional[float] = None,
+    ) -> PeriodicTask:
+        def guarded() -> None:
+            if self.alive:
+                fn()
+
+        task = PeriodicTask(
+            self.sim, period, guarded, jitter=jitter, rng=self._rng,
+            start_delay=start_delay,
+        )
+        self._tasks.append(task)
+        task.start()
+        return task
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def on_crash(self) -> None:
+        """Called by the network when this node fails; stops all timers."""
+        self.alive = False
+        for task in self._tasks:
+            task.stop()
+        self._tasks.clear()
+
+    def on_link_failed(self, peer: NodeId) -> None:
+        """Failure-detector notification for a registered connection."""
+        # Default: nothing; the membership layer overrides.

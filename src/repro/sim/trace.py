@@ -1,0 +1,168 @@
+"""Parser for the Splay-style churn-trace DSL of Listing 1.
+
+The paper drives its robustness experiments (§III-C) with a synthetic
+churn description::
+
+    from 1 s to N s join N
+    at 1000 s set replacement ratio to 100%
+    from 1000 s to 1600 s const churn X% each 60 s
+    at 1600 s stop
+
+We implement the same four statement forms.  Parsing is whitespace- and
+case-insensitive; ``#`` starts a comment; blank lines are ignored.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Union
+
+from repro.errors import TraceParseError
+
+_NUM = r"(\d+(?:\.\d+)?)"
+
+_RE_JOIN = re.compile(
+    rf"^from\s+{_NUM}\s*s\s+to\s+{_NUM}\s*s\s+join\s+(\d+)$", re.IGNORECASE
+)
+_RE_RATIO = re.compile(
+    rf"^at\s+{_NUM}\s*s\s+set\s+replacement\s+ratio\s+to\s+{_NUM}\s*%$", re.IGNORECASE
+)
+_RE_CHURN = re.compile(
+    rf"^from\s+{_NUM}\s*s\s+to\s+{_NUM}\s*s\s+const\s+churn\s+{_NUM}\s*%\s+each\s+{_NUM}\s*s$",
+    re.IGNORECASE,
+)
+_RE_STOP = re.compile(rf"^at\s+{_NUM}\s*s\s+stop$", re.IGNORECASE)
+
+
+@dataclass(frozen=True)
+class JoinRamp:
+    """``from <start> s to <end> s join <count>``: joins spread uniformly."""
+
+    start: float
+    end: float
+    count: int
+
+
+@dataclass(frozen=True)
+class SetReplacementRatio:
+    """``at <t> s set replacement ratio to <pct>%``."""
+
+    time: float
+    ratio: float  # 0..1
+
+
+@dataclass(frozen=True)
+class ConstChurn:
+    """``from <start> s to <end> s const churn <pct>% each <period> s``:
+    every period, ``pct``% of the live population fails and the replacement
+    ratio times as many fresh nodes join (§III-C)."""
+
+    start: float
+    end: float
+    percent: float
+    period: float
+
+
+@dataclass(frozen=True)
+class Stop:
+    """``at <t> s stop``: end of the experiment."""
+
+    time: float
+
+
+TraceOp = Union[JoinRamp, SetReplacementRatio, ConstChurn, Stop]
+
+
+@dataclass(frozen=True)
+class Trace:
+    """A parsed churn trace: an ordered list of operations."""
+
+    ops: tuple[TraceOp, ...]
+
+    @property
+    def stop_time(self) -> float:
+        stops = [op.time for op in self.ops if isinstance(op, Stop)]
+        if stops:
+            return min(stops)
+        return self.end_time
+
+    @property
+    def end_time(self) -> float:
+        t = 0.0
+        for op in self.ops:
+            if isinstance(op, (JoinRamp, ConstChurn)):
+                t = max(t, op.end)
+            else:
+                t = max(t, op.time)
+        return t
+
+    @property
+    def total_joins(self) -> int:
+        return sum(op.count for op in self.ops if isinstance(op, JoinRamp))
+
+    def churn_ops(self) -> list[ConstChurn]:
+        return [op for op in self.ops if isinstance(op, ConstChurn)]
+
+
+def parse_trace(text: str) -> Trace:
+    """Parse a Listing-1 style churn script into a :class:`Trace`."""
+    ops: list[TraceOp] = []
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        normalized = re.sub(r"\s+", " ", line)
+        m = _RE_JOIN.match(normalized)
+        if m:
+            start, end, count = float(m.group(1)), float(m.group(2)), int(m.group(3))
+            if end < start:
+                raise TraceParseError(line_no, raw, "join ramp ends before it starts")
+            ops.append(JoinRamp(start, end, count))
+            continue
+        m = _RE_RATIO.match(normalized)
+        if m:
+            pct = float(m.group(2))
+            if not 0.0 <= pct <= 100.0:
+                raise TraceParseError(line_no, raw, "replacement ratio outside 0..100%")
+            ops.append(SetReplacementRatio(float(m.group(1)), pct / 100.0))
+            continue
+        m = _RE_CHURN.match(normalized)
+        if m:
+            start, end = float(m.group(1)), float(m.group(2))
+            pct, period = float(m.group(3)), float(m.group(4))
+            if end < start:
+                raise TraceParseError(line_no, raw, "churn window ends before it starts")
+            if period <= 0:
+                raise TraceParseError(line_no, raw, "churn period must be positive")
+            if not 0.0 <= pct <= 100.0:
+                raise TraceParseError(line_no, raw, "churn percentage outside 0..100%")
+            ops.append(ConstChurn(start, end, pct, period))
+            continue
+        m = _RE_STOP.match(normalized)
+        if m:
+            ops.append(Stop(float(m.group(1))))
+            continue
+        raise TraceParseError(line_no, raw, "unrecognized statement")
+    return Trace(tuple(ops))
+
+
+def churn_trace(
+    n: int,
+    churn_percent: float,
+    *,
+    bootstrap_end: float = None,
+    churn_start: float = 1000.0,
+    churn_end: float = 1600.0,
+    period: float = 60.0,
+) -> Trace:
+    """Build the paper's Listing-1 trace for ``n`` nodes and X% churn."""
+    if bootstrap_end is None:
+        bootstrap_end = float(n)
+    text = (
+        f"from 1 s to {bootstrap_end} s join {n}\n"
+        f"at {churn_start} s set replacement ratio to 100%\n"
+        f"from {churn_start} s to {churn_end} s const churn {churn_percent}% each {period} s\n"
+        f"at {churn_end} s stop\n"
+    )
+    return parse_trace(text)

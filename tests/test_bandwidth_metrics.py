@@ -1,0 +1,72 @@
+"""Tests for bandwidth aggregation."""
+
+import pytest
+
+from repro.metrics.bandwidth import (
+    bandwidth_kbps,
+    phase_bandwidth_summary,
+    stacked_phases_mb,
+    total_transmitted_mb,
+)
+from repro.sim.monitor import DISSEMINATION, STABILIZATION, Metrics
+
+
+def make_metrics():
+    m = Metrics()
+    m.account_send(1, "data", 10 * 1024)
+    m.account_receive(1, 20 * 1024)
+    m.set_phase(DISSEMINATION, now=100.0)
+    m.account_send(1, "data", 100 * 1024)
+    m.account_receive(1, 50 * 1024)
+    m.account_receive(2, 200 * 1024)
+    m.close(now=200.0)
+    return m
+
+
+def test_bandwidth_kbps_received():
+    m = make_metrics()
+    rates = bandwidth_kbps(m, [1, 2], DISSEMINATION, "received")
+    assert rates[0] == pytest.approx(50 / 100)
+    assert rates[1] == pytest.approx(200 / 100)
+
+
+def test_bandwidth_kbps_sent_and_missing_node():
+    m = make_metrics()
+    rates = bandwidth_kbps(m, [1, 99], DISSEMINATION, "sent")
+    assert rates[0] == pytest.approx(100 / 100)
+    assert rates[1] == 0.0
+
+
+def test_bandwidth_zero_duration_phase():
+    m = Metrics()
+    assert bandwidth_kbps(m, [1], DISSEMINATION) == [0.0]
+
+
+def test_explicit_duration_override():
+    m = make_metrics()
+    rates = bandwidth_kbps(m, [1], DISSEMINATION, "received", duration=50.0)
+    assert rates[0] == pytest.approx(1.0)
+
+
+def test_phase_bandwidth_summary_has_paper_percentiles():
+    m = make_metrics()
+    s = phase_bandwidth_summary(m, [1, 2], DISSEMINATION, "received")
+    assert set(s) == {5, 25, 50, 75, 90}
+    assert s[90] >= s[5]
+
+
+def test_total_transmitted_mb():
+    m = make_metrics()
+    mb = total_transmitted_mb(m, [1], DISSEMINATION)
+    assert mb == pytest.approx(100 / 1024)
+
+
+def test_stacked_phases():
+    m = make_metrics()
+    stacked = stacked_phases_mb(m, [1])
+    assert stacked[STABILIZATION] == pytest.approx(10 / 1024)
+    assert stacked[DISSEMINATION] == pytest.approx(100 / 1024)
+
+
+def test_total_transmitted_empty_nodes():
+    assert total_transmitted_mb(Metrics(), [], DISSEMINATION) == 0.0

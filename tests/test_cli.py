@@ -1,0 +1,41 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main, make_parser
+
+
+def test_list_prints_all_experiments(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in EXPERIMENTS:
+        assert name in out
+
+
+def test_run_single_experiment(capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "tiny")
+    assert main(["run", "fig8"]) == 0
+    out = capsys.readouterr().out
+    assert "Fig. 8" in out and "max depth" in out
+
+
+def test_run_with_explicit_scale(capsys):
+    assert main(["run", "fig2", "--scale", "tiny"]) == 0
+    out = capsys.readouterr().out
+    assert "view size = 4" in out
+
+
+def test_quickstart_command(capsys):
+    assert main(["quickstart"]) == 0
+    out = capsys.readouterr().out
+    assert "delivered" in out
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        make_parser().parse_args(["run", "fig99"])
+
+
+def test_command_required():
+    with pytest.raises(SystemExit):
+        make_parser().parse_args([])

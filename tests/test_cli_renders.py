@@ -1,0 +1,25 @@
+"""Smoke tests: every CLI artifact renderer produces paper-style rows.
+
+Runs `python -m repro run all` semantics at tiny scale — this exercises
+every scenario + render path end to end.
+"""
+
+import pytest
+
+from repro.cli import EXPERIMENTS
+
+
+@pytest.fixture(autouse=True)
+def tiny_scale(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "tiny")
+
+
+@pytest.mark.parametrize("name", sorted(EXPERIMENTS))
+def test_renderer_produces_rows(name):
+    from repro.experiments.scale import get_scale
+
+    _, render = EXPERIMENTS[name]
+    out = render(get_scale())
+    assert isinstance(out, str)
+    assert "===" in out  # banner present
+    assert len(out.splitlines()) >= 5  # headers + at least one data row

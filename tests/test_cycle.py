@@ -1,0 +1,154 @@
+"""Tests for the cycle predictors (§II-D, §II-G)."""
+
+import pytest
+
+from repro.config import BrisaConfig
+from repro.core.cycle import (
+    PARENT_CYCLE,
+    PARENT_DEMOTE,
+    PARENT_OK,
+    BloomFilterPredictor,
+    DepthLabelPredictor,
+    PathEmbeddingPredictor,
+    extract_meta,
+    make_predictor,
+)
+from repro.core.messages import Data
+
+
+class TestPathEmbedding:
+    def setup_method(self):
+        self.p = PathEmbeddingPredictor()
+
+    def test_source_position_is_own_path(self):
+        assert self.p.source_position(7) == (7,)
+
+    def test_adopt_appends_self(self):
+        assert self.p.adopt(3, (0, 1, 2)) == (0, 1, 2, 3)
+
+    def test_candidate_containing_self_ineligible(self):
+        # Fig. 4: grey nodes (paths through N) are not eligible parents of N.
+        assert not self.p.eligible(5, (9, 5), (1, 5, 2))
+        assert self.p.eligible(5, (9, 5), (1, 2, 3))
+
+    def test_none_meta_ineligible(self):
+        assert not self.p.eligible(5, None, None)
+
+    def test_fresh_position_still_checks_path(self):
+        # Hard-repaired node (position None): eligible unless in the path.
+        assert self.p.eligible(5, None, (1, 2))
+        assert not self.p.eligible(5, None, (1, 5))
+
+    def test_check_parent_detects_cycle(self):
+        assert self.p.check_parent(5, (0, 5), (0, 3, 5)) == PARENT_CYCLE
+        assert self.p.check_parent(5, (0, 5), (0, 3)) == PARENT_OK
+
+    def test_exactness_no_false_negatives(self):
+        # Any candidate whose path avoids the node is accepted.
+        for path in [(0,), (1, 2, 3), tuple(range(100))]:
+            assert self.p.eligible(1000, (0, 1000), path)
+
+    def test_message_fields(self):
+        assert self.p.message_fields((0, 1)) == {"path": (0, 1)}
+
+
+class TestDepthLabels:
+    def setup_method(self):
+        self.p = DepthLabelPredictor()
+
+    def test_source_depth_zero(self):
+        assert self.p.source_position(7) == 0
+
+    def test_adopt_increments(self):
+        assert self.p.adopt(3, 4) == 5
+
+    def test_depth_not_greater_than_own_required(self):
+        # §II-G: parents may sit at "any depth not greater than i"; an
+        # equal-depth adoption demotes the adopter to i+1 afterwards.
+        assert self.p.eligible(1, position=3, meta=2)
+        assert self.p.eligible(1, position=3, meta=3)
+        assert not self.p.eligible(1, position=3, meta=4)
+
+    def test_fresh_node_accepts_anyone(self):
+        assert self.p.eligible(1, position=None, meta=17)
+
+    def test_false_negative_possible(self):
+        # Fig. 5: a causally-unrelated node that happens to carry a deeper
+        # label is rejected — the price of the approximate predictor.
+        assert not self.p.eligible(1, position=2, meta=3)
+
+    def test_check_parent_demotes_on_equal_or_deeper(self):
+        assert self.p.check_parent(1, position=3, meta=3) == PARENT_DEMOTE
+        assert self.p.check_parent(1, position=3, meta=5) == PARENT_DEMOTE
+        assert self.p.check_parent(1, position=3, meta=2) == PARENT_OK
+
+    def test_message_fields(self):
+        assert self.p.message_fields(4) == {"depth": 4}
+
+
+class TestBloomFilter:
+    def setup_method(self):
+        self.p = BloomFilterPredictor(bits=256, hashes=4)
+
+    def test_source_contains_self(self):
+        pos = self.p.source_position(9)
+        assert self.p.contains(pos, 9)
+
+    def test_adopt_adds_self_to_ancestors(self):
+        pos = self.p.source_position(0)
+        child = self.p.adopt(1, pos)
+        assert self.p.contains(child, 0)
+        assert self.p.contains(child, 1)
+
+    def test_descendant_filter_blocks_ancestor(self):
+        pos = self.p.source_position(0)
+        for nid in range(1, 6):
+            pos = self.p.adopt(nid, pos)
+        # Node 3 is an ancestor in this chain: ineligible as parent target.
+        assert not self.p.eligible(3, None, pos)
+
+    def test_unrelated_candidate_usually_eligible(self):
+        pos = self.p.adopt(1, self.p.source_position(0))
+        eligible = sum(1 for nid in range(100, 200) if self.p.eligible(nid, None, pos))
+        # A few false positives are possible, but the vast majority pass.
+        assert eligible >= 95
+
+    def test_small_filter_has_false_positives(self):
+        tiny = BloomFilterPredictor(bits=8, hashes=4)
+        pos = tiny.source_position(0)
+        for nid in range(1, 10):
+            pos = tiny.adopt(nid, pos)
+        rejected = sum(1 for nid in range(100, 300) if not tiny.eligible(nid, None, pos))
+        assert rejected > 50  # saturated filter rejects aggressively
+
+    def test_check_parent_cycle(self):
+        pos = self.p.adopt(2, self.p.source_position(0))
+        assert self.p.check_parent(2, None, pos) == PARENT_CYCLE
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            BloomFilterPredictor(bits=0)
+
+
+class TestFactoryAndMeta:
+    def test_make_predictor_dispatch(self):
+        assert make_predictor(BrisaConfig()).name == "path"
+        assert make_predictor(BrisaConfig(mode="dag", num_parents=2)).name == "depth"
+        cfg = BrisaConfig(cycle_predictor="bloom", bloom_bits=128, bloom_hashes=2)
+        pred = make_predictor(cfg)
+        assert pred.name == "bloom" and pred.bits == 128
+
+    def test_extract_meta_prefers_path(self):
+        msg = Data(0, 1, 10, path=(1, 2))
+        assert extract_meta(msg) == (1, 2)
+
+    def test_extract_meta_depth_and_bloom(self):
+        assert extract_meta(Data(0, 1, 10, depth=3)) == 3
+        assert extract_meta(Data(0, 1, 10, bloom=0b101, bloom_bits=8)) == 0b101
+
+    def test_metadata_size_accounting(self):
+        # §II-D: path costs 6 B/hop; depth 4 B; bloom bits/8.
+        base = Data(0, 1, 0).size_bytes()
+        assert Data(0, 1, 0, path=(1, 2, 3)).size_bytes() == base + 18
+        assert Data(0, 1, 0, depth=5).size_bytes() == base + 4
+        assert Data(0, 1, 0, bloom=1, bloom_bits=1024).size_bytes() == base + 128

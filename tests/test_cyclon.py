@@ -1,0 +1,83 @@
+"""Tests for the Cyclon peer sampling service."""
+
+import networkx as nx
+
+from repro.config import CyclonConfig
+from repro.membership.cyclon import CyclonNode
+from repro.sim.engine import Simulator
+from repro.sim.latency import ConstantLatency
+from repro.sim.monitor import Metrics
+from repro.sim.network import Network
+
+
+def build_cyclon(n, *, cfg=None, seed=1, settle=120.0):
+    cfg = cfg or CyclonConfig()
+    sim = Simulator(seed=seed)
+    net = Network(sim, ConstantLatency(0.001), Metrics(record_deliveries=False))
+    nodes = [net.spawn(lambda network, nid: CyclonNode(network, nid, cfg))]
+    rng = sim.rng("bootstrap")
+
+    def add_one():
+        node = net.spawn(lambda network, nid: CyclonNode(network, nid, cfg))
+        node.join(rng.choice([x.node_id for x in nodes]))
+        nodes.append(node)
+
+    for i in range(1, n):
+        sim.schedule(i * 0.05, add_one)
+    sim.run(until=n * 0.05 + settle)
+    return sim, net, nodes
+
+
+def test_views_fill_to_capacity():
+    cfg = CyclonConfig(view_size=6)
+    sim, net, nodes = build_cyclon(48, cfg=cfg)
+    sizes = [len(n.view) for n in nodes]
+    assert sum(sizes) / len(sizes) >= 4.0
+    assert all(s <= 6 for s in sizes)
+
+
+def test_view_never_contains_self():
+    sim, net, nodes = build_cyclon(32)
+    assert all(n.node_id not in n.view for n in nodes)
+
+
+def test_directed_view_graph_weakly_connected():
+    sim, net, nodes = build_cyclon(48)
+    g = nx.DiGraph()
+    for n in nodes:
+        g.add_node(n.node_id)
+        for peer in n.view:
+            g.add_edge(n.node_id, peer)
+    assert nx.is_weakly_connected(g)
+
+
+def test_shuffles_rotate_view_content():
+    sim, net, nodes = build_cyclon(48, settle=30.0)
+    before = {n.node_id: set(n.view) for n in nodes}
+    sim.run(until=sim.now + 60.0)
+    changed = sum(1 for n in nodes if set(n.view) != before[n.node_id])
+    assert changed > len(nodes) * 0.5
+
+
+def test_dead_entries_age_out_without_failure_detector():
+    sim, net, nodes = build_cyclon(32, settle=60.0)
+    victim = nodes[7]
+    net.crash(victim.node_id)
+    sim.run(until=sim.now + 240.0)
+    holders = [n for n in nodes if n.alive and victim.node_id in n.view]
+    # The dead id disappears from (nearly) all views purely by shuffling.
+    assert len(holders) <= 2
+
+
+def test_ages_increase_until_shuffled():
+    cfg = CyclonConfig(shuffle_period=5.0)
+    sim, net, nodes = build_cyclon(16, cfg=cfg, settle=30.0)
+    ages = [a for n in nodes for a in n.view.values()]
+    assert ages and max(ages) >= 1
+
+
+def test_crash_clears_state():
+    sim, net, nodes = build_cyclon(16, settle=20.0)
+    victim = nodes[3]
+    net.crash(victim.node_id)
+    assert victim.view == {}

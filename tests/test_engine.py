@@ -1,0 +1,215 @@
+"""Unit tests for the event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import PeriodicTask, Simulator
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(3.0, order.append, "c")
+    sim.schedule(1.0, order.append, "a")
+    sim.schedule(2.0, order.append, "b")
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_same_time_events_run_fifo():
+    sim = Simulator()
+    order = []
+    for label in range(10):
+        sim.schedule(1.0, order.append, label)
+    sim.run()
+    assert order == list(range(10))
+
+
+def test_now_advances_to_event_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule(2.5, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [2.5]
+    assert sim.now == 2.5
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, 1)
+    sim.schedule(5.0, fired.append, 5)
+    sim.run(until=2.0)
+    assert fired == [1]
+    assert sim.now == 2.0  # clock advanced to the until bound
+    sim.run()
+    assert fired == [1, 5]
+
+
+def test_run_until_with_empty_heap_advances_clock():
+    sim = Simulator()
+    sim.run(until=10.0)
+    assert sim.now == 10.0
+
+
+def test_max_events_limits_processing():
+    sim = Simulator()
+    fired = []
+    for i in range(5):
+        sim.schedule(float(i + 1), fired.append, i)
+    sim.run(max_events=2)
+    assert fired == [0, 1]
+
+
+def test_cancelled_events_do_not_fire():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(1.0, fired.append, "x")
+    sim.schedule(0.5, handle.cancel)
+    sim.run()
+    assert fired == []
+    assert not handle.active
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    handle = sim.schedule(1.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    sim.run()
+
+
+def test_events_scheduled_during_run_are_processed():
+    sim = Simulator()
+    fired = []
+
+    def first():
+        sim.schedule(1.0, fired.append, "second")
+        fired.append("first")
+
+    sim.schedule(1.0, first)
+    sim.run()
+    assert fired == ["first", "second"]
+
+
+def test_schedule_in_past_raises():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(0.5, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_stop_halts_run():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, 1)
+    sim.schedule(2.0, sim.stop)
+    sim.schedule(3.0, fired.append, 3)
+    sim.run()
+    assert fired == [1]
+    assert sim.pending >= 1
+
+
+def test_run_is_not_reentrant():
+    sim = Simulator()
+
+    def reenter():
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    sim.schedule(1.0, reenter)
+    sim.run()
+
+
+def test_next_event_time_skips_cancelled():
+    sim = Simulator()
+    h1 = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    h1.cancel()
+    assert sim.next_event_time() == 2.0
+
+
+def test_next_event_time_empty():
+    sim = Simulator()
+    assert sim.next_event_time() is None
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for i in range(4):
+        sim.schedule(float(i), lambda: None)
+    sim.run()
+    assert sim.events_processed == 4
+
+
+def test_rng_streams_are_deterministic_and_independent():
+    a1 = Simulator(seed=7).rng("x").random()
+    a2 = Simulator(seed=7).rng("x").random()
+    b = Simulator(seed=7).rng("y").random()
+    assert a1 == a2
+    assert a1 != b
+
+
+class TestPeriodicTask:
+    def test_fires_repeatedly(self):
+        sim = Simulator()
+        ticks = []
+        task = PeriodicTask(sim, 1.0, lambda: ticks.append(sim.now))
+        task.start()
+        sim.run(until=5.5)
+        assert ticks == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_stop_halts_firing(self):
+        sim = Simulator()
+        ticks = []
+        task = PeriodicTask(sim, 1.0, lambda: ticks.append(sim.now))
+        task.start()
+        sim.schedule(2.5, task.stop)
+        sim.run(until=10.0)
+        assert ticks == [1.0, 2.0]
+        assert not task.running
+
+    def test_stop_from_inside_callback(self):
+        sim = Simulator()
+        ticks = []
+        task = PeriodicTask(sim, 1.0, lambda: (ticks.append(sim.now), task.stop()))
+        task.start()
+        sim.run(until=10.0)
+        assert ticks == [1.0]
+
+    def test_start_is_idempotent(self):
+        sim = Simulator()
+        ticks = []
+        task = PeriodicTask(sim, 1.0, lambda: ticks.append(sim.now))
+        task.start()
+        task.start()
+        sim.run(until=2.5)
+        assert ticks == [1.0, 2.0]
+
+    def test_jitter_requires_rng_and_spreads_periods(self):
+        sim = Simulator(seed=3)
+        ticks = []
+        task = PeriodicTask(sim, 1.0, lambda: ticks.append(sim.now), jitter=0.3, rng=sim.rng("j"))
+        task.start()
+        sim.run(until=20.0)
+        gaps = [b - a for a, b in zip(ticks, ticks[1:])]
+        assert all(0.7 <= g <= 1.3 for g in gaps)
+        assert len(set(round(g, 6) for g in gaps)) > 1  # actually jittered
+
+    def test_start_delay_override(self):
+        sim = Simulator()
+        ticks = []
+        task = PeriodicTask(sim, 5.0, lambda: ticks.append(sim.now), start_delay=0.5)
+        task.start()
+        sim.run(until=6.0)
+        assert ticks == [0.5, 5.5]
+
+    def test_invalid_period_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            PeriodicTask(sim, 0.0, lambda: None)
+        with pytest.raises(SimulationError):
+            PeriodicTask(sim, 1.0, lambda: None, jitter=1.5)

@@ -1,0 +1,138 @@
+"""White-box tests for HyParView protocol details (walks, priorities)."""
+
+import pytest
+
+from repro.config import HyParViewConfig
+from repro.membership import messages as m
+from repro.membership.hyparview import HyParViewNode
+from repro.sim.engine import Simulator
+from repro.sim.latency import ConstantLatency
+from repro.sim.monitor import Metrics
+from repro.sim.network import Network
+
+
+def manual_nodes(count, cfg=None, seed=1):
+    sim = Simulator(seed=seed)
+    net = Network(sim, ConstantLatency(0.001), Metrics())
+    cfg = cfg or HyParViewConfig()
+    nodes = [net.spawn(lambda n, i: HyParViewNode(n, i, cfg)) for _ in range(count)]
+    return sim, net, nodes
+
+
+class TestNeighborHandshake:
+    def test_priority_request_accepted_even_when_full(self):
+        cfg = HyParViewConfig(active_size=1, expansion_factor=1.0)
+        sim, net, (a, b, c) = manual_nodes(3, cfg)
+        b.join(a.node_id)
+        sim.run(until=1.0)
+        assert len(a.active) == 1
+        # c forces itself in with priority (it is isolated): deliver the
+        # request and assert the immediate acceptance.  (At capacity 1
+        # with three nodes the slot keeps rotating afterwards — the
+        # displaced node's own priority request takes it back — which is
+        # inherent to the protocol at degenerate view sizes.)
+        a.handle_message(c.node_id, m.Neighbor(priority=True))
+        assert c.node_id in a.active
+        assert len(a.active) <= cfg.max_active
+        sim.run(until=2.0)
+        # The cap survives the ensuing rotation.
+        assert len(a.active) <= cfg.max_active
+
+    def test_normal_request_rejected_when_full(self):
+        cfg = HyParViewConfig(active_size=1, expansion_factor=1.0)
+        sim, net, (a, b, c) = manual_nodes(3, cfg)
+        b.join(a.node_id)
+        sim.run(until=1.0)
+        c._request_neighbor(a.node_id, priority=False)
+        sim.run(until=2.0)
+        assert c.node_id not in a.active
+        assert a.node_id not in c._pending_neighbor  # reject clears pending
+
+    def test_reject_triggers_next_replacement_attempt(self):
+        cfg = HyParViewConfig(active_size=2, expansion_factor=1.0)
+        sim, net, nodes = manual_nodes(4, cfg)
+        a = nodes[0]
+        # Seed a's passive view with two candidates; one will be tried.
+        a.passive.update({nodes[2].node_id, nodes[3].node_id})
+        a._maybe_replace()
+        sim.run(until=2.0)
+        assert len(a.active) >= 1
+
+
+class TestForwardJoinWalk:
+    def test_walk_terminates_at_ttl_zero(self):
+        sim, net, nodes = manual_nodes(3)
+        a, b, c = nodes
+        # Hand-build a line a-b so the walk from b can reach c directly.
+        a.active[b.node_id] = None
+        b.active[a.node_id] = None
+        net.register_link(a.node_id, b.node_id)
+        b.handle_message(a.node_id, m.ForwardJoin(c.node_id, ttl=0))
+        sim.run(until=1.0)
+        assert c.node_id in b.active
+        assert b.node_id in c.active  # mutual via Neighbor handshake
+
+    def test_walk_records_passive_at_prwl(self):
+        cfg = HyParViewConfig(arwl=6, prwl=3)
+        sim, net, nodes = manual_nodes(4, cfg)
+        a, b, c, joiner = nodes
+        for x, y in [(a, b), (b, c)]:
+            x.active[y.node_id] = None
+            y.active[x.node_id] = None
+            net.register_link(x.node_id, y.node_id)
+        b.handle_message(a.node_id, m.ForwardJoin(joiner.node_id, ttl=cfg.prwl))
+        assert joiner.node_id in b.passive
+
+    def test_own_id_in_walk_ignored(self):
+        sim, net, nodes = manual_nodes(2)
+        a, b = nodes
+        a.handle_message(b.node_id, m.ForwardJoin(a.node_id, ttl=2))
+        assert a.node_id not in a.active
+
+
+class TestShuffleMechanics:
+    def test_shuffle_reply_integrates_entries(self):
+        sim, net, nodes = manual_nodes(3)
+        a, b, c = nodes
+        a.handle_message(b.node_id, m.ShuffleReply((c.node_id,)))
+        assert c.node_id in a.passive
+
+    def test_integration_skips_self_and_active(self):
+        sim, net, nodes = manual_nodes(3)
+        a, b, c = nodes
+        a.active[b.node_id] = None
+        a.handle_message(c.node_id, m.ShuffleReply((a.node_id, b.node_id)))
+        assert a.node_id not in a.passive
+        assert b.node_id not in a.passive
+
+    def test_passive_eviction_prefers_sent_entries(self):
+        cfg = HyParViewConfig(passive_size=2)
+        sim, net, nodes = manual_nodes(1, cfg)
+        (a,) = nodes
+        a.passive.update({100, 101})
+        a._add_passive(102, sent_away={100})
+        assert 100 not in a.passive
+        assert {101, 102} <= a.passive
+
+    def test_shuffle_walk_forwards_with_decremented_ttl(self):
+        sim, net, nodes = manual_nodes(3)
+        a, b, c = nodes
+        # b has two neighbours, so a walk arriving with ttl>0 is relayed.
+        for x in (a, c):
+            b.active[x.node_id] = None
+            x.active[b.node_id] = None
+            net.register_link(b.node_id, x.node_id)
+        b.handle_message(a.node_id, m.Shuffle(a.node_id, (77,), ttl=2))
+        sim.run(until=1.0)
+        # The walk ended at c (only candidate), which integrated and replied.
+        assert 77 in c.passive
+
+    def test_shuffle_at_walk_end_replies_to_origin(self):
+        sim, net, nodes = manual_nodes(2)
+        a, b = nodes
+        b.passive.add(55)
+        b.handle_message(a.node_id, m.Shuffle(a.node_id, (66,), ttl=0))
+        sim.run(until=1.0)
+        assert 66 in b.passive
+        # a received b's reply sample (contains b or 55).
+        assert a.passive & {55, b.node_id}

@@ -1,0 +1,78 @@
+"""Tests for the latency models."""
+
+import statistics
+
+import pytest
+
+from repro.sim.latency import ClusterLatency, ConstantLatency, PlanetLabLatency
+
+
+class TestConstantLatency:
+    def test_fixed_delay(self):
+        model = ConstantLatency(0.005)
+        assert model.sample(0, 1) == 0.005
+        assert model.expected_owd(3, 7) == 0.005
+        assert model.expected_rtt(3, 7) == 0.010
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantLatency(-1.0)
+
+
+class TestClusterLatency:
+    def test_sub_millisecond_rtts(self):
+        model = ClusterLatency(seed=1)
+        rtts = [model.sample(0, 1) + model.sample(1, 0) for _ in range(500)]
+        assert all(r > 0 for r in rtts)
+        # The paper's cluster is switched GbE: RTTs well under 5 ms.
+        assert statistics.mean(rtts) < 0.005
+
+    def test_expected_close_to_sample_mean(self):
+        model = ClusterLatency(seed=2)
+        mean = statistics.mean(model.sample(0, 1) for _ in range(4000))
+        assert mean == pytest.approx(model.expected_owd(0, 1), rel=0.25)
+
+
+class TestPlanetLabLatency:
+    def test_deterministic_base(self):
+        a = PlanetLabLatency(seed=5)
+        b = PlanetLabLatency(seed=5)
+        assert a.expected_owd(1, 2) == b.expected_owd(1, 2)
+
+    def test_seed_changes_topology(self):
+        a = PlanetLabLatency(seed=5)
+        b = PlanetLabLatency(seed=6)
+        assert a.expected_owd(1, 2) != b.expected_owd(1, 2)
+
+    def test_wide_area_rtt_distribution(self):
+        model = PlanetLabLatency(seed=7)
+        rtts = []
+        for i in range(60):
+            for j in range(i + 1, 60):
+                rtts.append(model.expected_rtt(i, j))
+        med = statistics.median(rtts)
+        # Median RTT in the ballpark of published PlanetLab studies.
+        assert 0.02 < med < 0.25
+        # A heavy tail exists: some pairs are much slower than the median.
+        assert max(rtts) > 2.5 * med
+
+    def test_asymmetric_directions(self):
+        model = PlanetLabLatency(seed=8)
+        diffs = [
+            abs(model.expected_owd(i, j) - model.expected_owd(j, i))
+            for i, j in [(0, 1), (2, 3), (4, 5), (6, 7)]
+        ]
+        assert any(d > 0 for d in diffs)
+
+    def test_samples_vary_and_exceed_base(self):
+        model = PlanetLabLatency(seed=9)
+        samples = [model.sample(0, 1) for _ in range(50)]
+        assert len(set(samples)) > 1
+        assert min(samples) > model._base_owd(0, 1)
+
+    def test_all_delays_positive(self):
+        model = PlanetLabLatency(seed=10)
+        for i in range(20):
+            for j in range(20):
+                if i != j:
+                    assert model.sample(i, j) > 0

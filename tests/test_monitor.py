@@ -1,0 +1,102 @@
+"""Tests for metric collection and phase accounting."""
+
+import pytest
+
+from repro.sim.monitor import DISSEMINATION, STABILIZATION, Metrics
+
+
+def test_initial_phase_is_stabilization():
+    m = Metrics()
+    assert m.phase == STABILIZATION
+
+
+def test_phase_transition_records_boundaries():
+    m = Metrics()
+    m.set_phase(DISSEMINATION, now=100.0)
+    m.close(now=250.0)
+    assert m.phase_duration(STABILIZATION) == 100.0
+    assert m.phase_duration(DISSEMINATION) == 150.0
+
+
+def test_set_same_phase_is_noop():
+    m = Metrics()
+    m.set_phase(STABILIZATION, now=50.0)
+    assert m.phase_starts[STABILIZATION] == 0.0
+    assert STABILIZATION not in m.phase_ends
+
+
+def test_bytes_tagged_with_current_phase():
+    m = Metrics()
+    m.account_send(1, "data", 100)
+    m.set_phase(DISSEMINATION, now=10.0)
+    m.account_send(1, "data", 900)
+    assert m.bytes_sent[1][STABILIZATION] == 100
+    assert m.bytes_sent[1][DISSEMINATION] == 900
+    assert m.node_bytes(1, DISSEMINATION) == 900
+    assert m.total_bytes() == 1000
+    assert m.total_bytes(DISSEMINATION) == 900
+
+
+def test_msg_counts_by_kind():
+    m = Metrics()
+    m.account_send(1, "data", 10)
+    m.account_send(2, "data", 10)
+    m.account_send(1, "deactivate", 5)
+    assert m.msg_counts["data"][STABILIZATION] == 2
+    assert m.msg_counts["deactivate"][STABILIZATION] == 1
+
+
+def test_first_delivery_vs_duplicates():
+    m = Metrics()
+    assert m.record_delivery(5, 0, 1, 1.0, sender=2, hops=3, path_delay=0.1)
+    assert not m.record_delivery(5, 0, 1, 1.5, sender=3, hops=4, path_delay=0.2)
+    assert m.duplicates[5] == 1
+    rec = m.deliveries[(0, 1)][5]
+    assert rec.time == 1.0 and rec.sender == 2 and rec.hops == 3
+
+
+def test_duplicates_per_node_includes_zero_for_clean_nodes():
+    m = Metrics()
+    m.record_delivery(1, 0, 0, 1.0, 0, 1, 0.0)
+    m.record_delivery(1, 0, 0, 1.1, 2, 1, 0.0)
+    assert m.duplicates_per_node([1, 2]) == [1, 0]
+
+
+def test_delivery_times_query():
+    m = Metrics()
+    m.record_delivery(1, 0, 3, 2.5, 0, 1, 0.0)
+    m.record_delivery(2, 0, 3, 2.7, 0, 1, 0.0)
+    assert m.delivery_times(0, 3) == {1: 2.5, 2: 2.7}
+
+
+def test_record_deliveries_disabled_still_counts_duplicates():
+    m = Metrics(record_deliveries=False)
+    assert m.record_delivery(1, 0, 0, 1.0, 0, 1, 0.0)
+    assert not m.record_delivery(1, 0, 0, 1.2, 9, 2, 0.0)
+    assert m.duplicates[1] == 1
+    assert m.delivery_times(0, 0) == {}
+
+
+def test_repair_and_probe_records():
+    m = Metrics()
+    m.record_parent_loss(5.0, 3)
+    m.record_orphan(5.1, 3)
+    m.record_repair(5.2, 3, "soft", duration=0.1)
+    m.record_construction(3, start=1.0, end=1.5)
+    assert m.parent_losses == [(5.0, 3)]
+    assert m.orphan_events == [(5.1, 3)]
+    assert m.repair_events[0].kind == "soft"
+    assert m.construction_probes[0].duration == pytest.approx(0.5)
+
+
+def test_injection_record():
+    m = Metrics()
+    m.record_injection(0, 7, 12.0)
+    assert m.injections[(0, 7)] == 12.0
+
+
+def test_counters():
+    m = Metrics()
+    m.incr("x")
+    m.incr("x", 4)
+    assert m.counters["x"] == 5

@@ -1,0 +1,174 @@
+"""Tests for the simulated network and failure detection."""
+
+import pytest
+
+from repro.errors import ProtocolError, SimulationError
+from repro.sim.message import Message
+from repro.sim.monitor import DISSEMINATION
+
+from tests.helpers import Ping, RecorderNode, make_network
+
+
+def test_send_delivers_with_latency():
+    sim, net, (a, b) = make_network(2, delay=0.01)
+    net.send(a.node_id, b.node_id, Ping(7))
+    sim.run()
+    assert len(b.received) == 1
+    t, src, msg = b.received[0]
+    assert t == pytest.approx(0.01)
+    assert src == a.node_id
+    assert msg.payload == 7
+
+
+def test_bytes_accounted_on_both_ends():
+    sim, net, (a, b) = make_network(2)
+    net.send(a.node_id, b.node_id, Ping())
+    sim.run()
+    size = Ping().size_bytes()
+    assert net.metrics.bytes_sent[a.node_id]["stabilization"] == size
+    assert net.metrics.bytes_received[b.node_id]["stabilization"] == size
+
+
+def test_send_to_self_rejected():
+    sim, net, (a,) = make_network(1)
+    with pytest.raises(SimulationError):
+        net.send(a.node_id, a.node_id, Ping())
+
+
+def test_dead_sender_sends_nothing():
+    sim, net, (a, b) = make_network(2)
+    net.crash(a.node_id)
+    net.send(a.node_id, b.node_id, Ping())
+    sim.run()
+    assert b.received == []
+
+
+def test_message_to_crashed_node_dropped():
+    sim, net, (a, b) = make_network(2)
+    net.send(a.node_id, b.node_id, Ping())
+    net.crash(b.node_id)
+    sim.run()
+    assert b.received == []
+    # Received bytes were never accounted for the dead node.
+    assert net.metrics.bytes_received.get(b.node_id, {}) in ({}, {"stabilization": 0})
+
+
+def test_crash_notifies_linked_peers_after_detection_delay():
+    sim, net, (a, b, c) = make_network(3)
+    net.register_link(a.node_id, b.node_id)
+    net.crash(b.node_id)
+    sim.run()
+    assert len(a.link_failures) == 1
+    t, failed = a.link_failures[0]
+    assert failed == b.node_id
+    # Detection delay in U(0.5, 1.5) x keepalive period (default 1 s).
+    assert 0.5 <= t <= 1.5
+    # c was not linked to b: no notification.
+    assert c.link_failures == []
+
+
+def test_unregistered_link_not_notified():
+    sim, net, (a, b) = make_network(2)
+    net.register_link(a.node_id, b.node_id)
+    net.unregister_link(a.node_id, b.node_id)
+    net.crash(b.node_id)
+    sim.run()
+    assert a.link_failures == []
+
+
+def test_send_failure_on_registered_link_triggers_notice():
+    sim, net, (a, b) = make_network(2)
+    net.register_link(a.node_id, b.node_id)
+    net.crash(b.node_id)  # schedules one notice
+    # In-flight message to the dead node must not produce a duplicate notice.
+    net.send(a.node_id, b.node_id, Ping())
+    sim.run()
+    assert len(a.link_failures) == 1
+
+
+def test_in_flight_message_to_node_that_dies_mid_flight():
+    sim, net, (a, b) = make_network(2, delay=1.0)
+    net.register_link(a.node_id, b.node_id)
+    net.send(a.node_id, b.node_id, Ping())
+    sim.schedule(0.5, net.crash, b.node_id)
+    sim.run()
+    assert b.received == []
+    assert len(a.link_failures) == 1
+
+
+def test_crash_is_idempotent():
+    sim, net, (a, b) = make_network(2)
+    net.register_link(a.node_id, b.node_id)
+    net.crash(b.node_id)
+    net.crash(b.node_id)
+    sim.run()
+    assert len(a.link_failures) == 1
+    assert net.metrics.counters["crashes"] == 1
+
+
+def test_crash_listener_invoked():
+    sim, net, (a, b) = make_network(2)
+    crashed = []
+    net.crash_listeners.append(crashed.append)
+    net.crash(a.node_id)
+    assert crashed == [a.node_id]
+
+
+def test_self_link_rejected():
+    sim, net, (a,) = make_network(1)
+    with pytest.raises(SimulationError):
+        net.register_link(a.node_id, a.node_id)
+
+
+def test_alive_ids_excludes_crashed():
+    sim, net, nodes = make_network(4)
+    net.crash(nodes[1].node_id)
+    assert net.alive_ids() == [nodes[0].node_id, nodes[2].node_id, nodes[3].node_id]
+
+
+def test_spawn_allocates_monotonic_ids():
+    sim, net, nodes = make_network(3)
+    assert [n.node_id for n in nodes] == [0, 1, 2]
+
+
+def test_unknown_message_kind_raises():
+    sim, net, (a, b) = make_network(2)
+
+    class Weird(Message):
+        kind = "weird"
+
+    net.send(a.node_id, b.node_id, Weird())
+    with pytest.raises(ProtocolError):
+        sim.run()
+
+
+def test_capacity_is_deterministic_and_positive():
+    _, net1, _ = make_network(1, seed=9)
+    _, net2, _ = make_network(1, seed=9)
+    assert net1.capacity(0) == net2.capacity(0)
+    assert net1.capacity(0) > 0
+    assert net1.capacity(0) != net1.capacity(1)
+
+
+def test_rtt_symmetric_for_constant_latency():
+    sim, net, (a, b) = make_network(2, delay=0.004)
+    assert net.rtt(a.node_id, b.node_id) == pytest.approx(0.008)
+
+
+def test_keepalive_accounting_charges_linked_nodes():
+    sim, net, (a, b, c) = make_network(3)
+    net.register_link(a.node_id, b.node_id)
+    net.account_keepalives(DISSEMINATION, duration=10.0, ka_bytes=48)
+    expected = int(round(10.0 / 1.0 * 48))
+    assert net.metrics.bytes_sent[a.node_id][DISSEMINATION] == expected
+    assert net.metrics.bytes_received[b.node_id][DISSEMINATION] == expected
+    assert net.metrics.bytes_sent.get(c.node_id, {}).get(DISSEMINATION, 0) == 0
+
+
+def test_dead_nodes_send_no_keepalives():
+    sim, net, (a, b) = make_network(2)
+    net.register_link(a.node_id, b.node_id)
+    # crash() clears the links, so no keepalive accounting either way
+    net.crash(a.node_id)
+    net.account_keepalives(DISSEMINATION, duration=10.0)
+    assert net.metrics.bytes_sent.get(a.node_id, {}).get(DISSEMINATION, 0) == 0

@@ -1,0 +1,72 @@
+"""Tests for the retransmission buffer (§II-F)."""
+
+import pytest
+
+from repro.core.recovery import MessageBuffer
+
+
+def test_store_and_lookup():
+    buf = MessageBuffer(capacity=4)
+    buf.store(1, 100)
+    assert 1 in buf
+    assert buf.get(1) == 100
+    assert len(buf) == 1
+
+
+def test_capacity_evicts_oldest_insertion():
+    buf = MessageBuffer(capacity=3)
+    for seq in range(5):
+        buf.store(seq, seq * 10)
+    assert 0 not in buf and 1 not in buf
+    assert all(s in buf for s in (2, 3, 4))
+
+
+def test_after_returns_sorted_gap_fill():
+    buf = MessageBuffer(capacity=10)
+    for seq in (5, 3, 9, 7):
+        buf.store(seq, seq)
+    assert list(buf.after(4)) == [(5, 5), (7, 7), (9, 9)]
+    assert list(buf.after(9)) == []
+
+
+def test_latest():
+    buf = MessageBuffer(capacity=4)
+    assert buf.latest is None
+    buf.store(2, 1)
+    buf.store(7, 1)
+    assert buf.latest == 7
+
+
+def test_duplicate_store_keeps_single_entry():
+    buf = MessageBuffer(capacity=2)
+    buf.store(1, 10)
+    buf.store(1, 10)
+    assert len(buf) == 1
+
+
+def test_duplicate_store_refreshes_recency():
+    buf = MessageBuffer(capacity=2)
+    buf.store(1, 10)
+    buf.store(2, 20)
+    buf.store(1, 10)  # refresh: now 2 is the oldest
+    buf.store(3, 30)  # evicts 2
+    assert 1 in buf and 3 in buf and 2 not in buf
+
+
+def test_zero_capacity_buffers_nothing():
+    buf = MessageBuffer(capacity=0)
+    buf.store(1, 10)
+    assert len(buf) == 0
+    assert list(buf.after(0)) == []
+
+
+def test_negative_capacity_rejected():
+    with pytest.raises(ValueError):
+        MessageBuffer(capacity=-1)
+
+
+def test_clear():
+    buf = MessageBuffer(capacity=4)
+    buf.store(1, 1)
+    buf.clear()
+    assert len(buf) == 0

@@ -1,0 +1,58 @@
+"""Tests for the ASCII report rendering."""
+
+from repro.experiments.report import (
+    ascii_cdf,
+    banner,
+    cdf_rows,
+    comparison_rows,
+    percentile_rows,
+    table,
+)
+from repro.metrics.stats import cdf_of
+
+
+def test_table_alignment_and_content():
+    out = table(["a", "bb"], [[1, 2.5], ["x", 0.001]])
+    lines = out.splitlines()
+    assert len(lines) == 4
+    assert "a" in lines[0] and "bb" in lines[0]
+    assert "2.50" in out and "0.0010" in out
+
+
+def test_cdf_rows_with_data_and_empty():
+    out = cdf_rows({"full": cdf_of([1, 2, 3]), "none": cdf_of([])})
+    assert "full" in out and "none" in out
+    assert "median" in out
+
+
+def test_percentile_rows():
+    out = percentile_rows({"cfg": {5: 1.0, 50: 2.0, 90: 3.0}}, unit="KB/s")
+    assert "p50 (KB/s)" in out
+    assert "cfg" in out
+
+
+def test_comparison_rows_ratio():
+    out = comparison_rows({"x": 2.0}, {"x": 1.0}, label="proto", unit="s")
+    assert "2.00" in out and "1.00" in out
+    assert "ratio" in out
+
+
+def test_comparison_rows_missing_paper_value():
+    out = comparison_rows({"y": 2.0}, {}, label="proto")
+    assert "-" in out
+
+
+def test_banner():
+    out = banner("Fig. 2")
+    assert "Fig. 2" in out and out.count("=") >= 120
+
+
+def test_ascii_cdf_plot():
+    out = ascii_cdf(cdf_of([1, 2, 3, 4, 5]), width=20, height=4, label="demo")
+    assert "demo" in out
+    assert "#" in out
+    assert "100%" in out
+
+
+def test_ascii_cdf_empty():
+    assert "(empty)" in ascii_cdf(cdf_of([]), label="e")

@@ -1,0 +1,88 @@
+"""Tests for the stream-splitting extension (§IV)."""
+
+import pytest
+
+from repro.core.splitting import (
+    StripeAssignment,
+    StripeReassembler,
+    split_bandwidth_share,
+)
+
+
+class TestStripeAssignment:
+    def test_round_robin_mapping(self):
+        a = StripeAssignment((10, 20))
+        assert a.parent_for(0) == 10
+        assert a.parent_for(1) == 20
+        assert a.parent_for(2) == 10
+        assert a.stripe_of(5) == 1
+
+    def test_sequences_for_parent(self):
+        a = StripeAssignment((10, 20, 30))
+        assert a.sequences_for_parent(20, upto=7) == [1, 4]
+        assert a.sequences_for_parent(10, upto=4) == [0, 3]
+
+    def test_without_parent_redistributes(self):
+        a = StripeAssignment((10, 20))
+        b = a.without_parent(20)
+        assert b is not None
+        assert set(b.parents) == {10}
+        assert b.parent_for(1) == 10
+
+    def test_without_last_parent_returns_none(self):
+        assert StripeAssignment((10,)).without_parent(10) is None
+
+    def test_empty_assignment_rejected(self):
+        with pytest.raises(ValueError):
+            StripeAssignment(())
+
+    def test_every_sequence_covered_after_failure(self):
+        a = StripeAssignment((1, 2, 3, 4))
+        b = a.without_parent(3)
+        for seq in range(20):
+            assert b.parent_for(seq) in (1, 2, 4)
+
+
+class TestStripeReassembler:
+    def test_in_order_release(self):
+        r = StripeReassembler()
+        assert r.offer(0) == [0]
+        assert r.offer(1) == [1]
+        assert r.delivered == [0, 1]
+
+    def test_out_of_order_buffered_then_released(self):
+        r = StripeReassembler()
+        assert r.offer(2) == []
+        assert r.offer(1) == []
+        assert r.offer(0) == [0, 1, 2]
+        assert r.buffered == 0
+
+    def test_duplicates_and_stale_ignored(self):
+        r = StripeReassembler()
+        r.offer(0)
+        assert r.offer(0) == []
+        r.offer(2)
+        assert r.offer(2) == []
+
+    def test_missing_before(self):
+        r = StripeReassembler()
+        r.offer(1)
+        r.offer(4)
+        assert r.missing_before(5) == [0, 2, 3]
+
+    def test_start_seq(self):
+        r = StripeReassembler(start_seq=10)
+        assert r.offer(9) == []  # stale
+        assert r.offer(10) == [10]
+
+
+def test_split_bandwidth_share_balances_parents():
+    a = StripeAssignment((1, 2))
+    share = split_bandwidth_share(a, payload_bytes=100, messages=10)
+    assert share == {1: 500, 2: 500}
+
+
+def test_split_bandwidth_share_uneven_stripes():
+    a = StripeAssignment((1, 1, 2))
+    share = split_bandwidth_share(a, payload_bytes=10, messages=9)
+    assert share == {1: 60, 2: 30}

@@ -1,0 +1,72 @@
+"""Tests for the distribution utilities."""
+
+import pytest
+
+from repro.metrics.stats import CDF, cdf_of, percentile_summary, rate_per_minute
+
+
+class TestCDF:
+    def test_of_sorts(self):
+        c = CDF.of([3.0, 1.0, 2.0])
+        assert c.values == (1.0, 2.0, 3.0)
+
+    def test_fraction_at_most(self):
+        c = cdf_of([1, 2, 3, 4])
+        assert c.fraction_at_most(0) == 0.0
+        assert c.fraction_at_most(2) == 0.5
+        assert c.fraction_at_most(4) == 1.0
+        assert c.fraction_at_most(10) == 1.0
+
+    def test_percentiles(self):
+        c = cdf_of(range(101))
+        assert c.median == 50
+        assert c.percentile(25) == 25
+        assert c.min == 0 and c.max == 100
+
+    def test_mean(self):
+        assert cdf_of([1, 2, 3]).mean == pytest.approx(2.0)
+
+    def test_empty(self):
+        c = cdf_of([])
+        assert c.empty
+        assert c.fraction_at_most(1) == 0.0
+        with pytest.raises(ValueError):
+            c.percentile(50)
+        with pytest.raises(ValueError):
+            _ = c.mean
+        assert c.summary() == {"n": 0}
+
+    def test_series(self):
+        c = cdf_of([1, 2, 3, 4])
+        assert c.series([2, 4]) == [(2.0, 0.5), (4.0, 1.0)]
+
+    def test_summary_keys(self):
+        s = cdf_of([1, 2, 3]).summary()
+        assert set(s) == {"n", "min", "p25", "median", "p75", "p90", "max", "mean"}
+
+
+class TestPercentileSummary:
+    def test_paper_percentiles_default(self):
+        s = percentile_summary(range(100))
+        assert set(s) == {5, 25, 50, 75, 90}
+        assert s[50] == pytest.approx(49.5)
+
+    def test_empty_sample(self):
+        assert percentile_summary([]) == {5: 0.0, 25: 0.0, 50: 0.0, 75: 0.0, 90: 0.0}
+
+    def test_custom_percentiles(self):
+        s = percentile_summary([1, 2, 3], percentiles=(0, 100))
+        assert s == {0: 1.0, 100: 3.0}
+
+
+class TestRatePerMinute:
+    def test_basic_rate(self):
+        times = [10.0, 20.0, 30.0, 70.0]
+        assert rate_per_minute(times, (0.0, 60.0)) == pytest.approx(3.0)
+
+    def test_window_edges_inclusive(self):
+        assert rate_per_minute([0.0, 60.0], (0.0, 60.0)) == pytest.approx(2.0)
+
+    def test_empty_and_degenerate(self):
+        assert rate_per_minute([], (0, 60)) == 0.0
+        assert rate_per_minute([1.0], (5, 5)) == 0.0

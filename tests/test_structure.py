@@ -1,0 +1,124 @@
+"""Tests for structure extraction and analysis."""
+
+import networkx as nx
+import pytest
+
+from repro.core.structure import (
+    dag_depths,
+    depths,
+    extract_structure,
+    is_complete_structure,
+    out_degrees,
+    parent_counts,
+    structure_summary,
+    to_dot,
+    tree_depths,
+)
+
+
+def chain(*edges):
+    g = nx.DiGraph()
+    g.add_edges_from(edges)
+    return g
+
+
+class TestDepths:
+    def test_tree_depths_shortest_path(self):
+        g = chain((0, 1), (1, 2), (0, 3))
+        assert tree_depths(g, 0) == {0: 0, 1: 1, 2: 2, 3: 1}
+
+    def test_dag_depths_longest_path(self):
+        # Diamond: 0->1->3 and 0->2->3 plus long route 0->1->2.
+        g = chain((0, 1), (0, 2), (1, 2), (1, 3), (2, 3))
+        # Longest path to 3: 0-1-2-3 = 3 hops.
+        assert dag_depths(g, 0)[3] == 3
+        assert tree_depths(g, 0)[3] == 2  # shortest differs
+
+    def test_depth_dispatch(self):
+        g = chain((0, 1), (1, 2))
+        assert depths(g, 0, "tree") == depths(g, 0, "dag")
+
+    def test_missing_source(self):
+        assert tree_depths(chain((1, 2)), 0) == {}
+        assert dag_depths(chain((1, 2)), 0) == {}
+
+
+class TestCompleteness:
+    def test_complete_tree_passes(self):
+        g = chain((0, 1), (1, 2), (0, 3))
+        ok, reason = is_complete_structure(g, 0)
+        assert ok, reason
+
+    def test_cycle_detected(self):
+        g = chain((0, 1), (1, 2), (2, 1))
+        ok, reason = is_complete_structure(g, 0)
+        assert not ok and "cycle" in reason
+
+    def test_unreachable_nodes_detected(self):
+        g = chain((0, 1))
+        g.add_node(9)
+        ok, reason = is_complete_structure(g, 0)
+        assert not ok and "unreachable" in reason
+
+    def test_expected_nodes_override(self):
+        g = chain((0, 1))
+        g.add_node(9)
+        ok, _ = is_complete_structure(g, 0, expected_nodes={0, 1})
+        assert ok
+
+    def test_source_absent(self):
+        ok, reason = is_complete_structure(chain((1, 2)), 0)
+        assert not ok and "absent" in reason
+
+
+class TestDegreesAndCounts:
+    def test_out_degrees(self):
+        g = chain((0, 1), (0, 2), (1, 3))
+        assert out_degrees(g) == {0: 2, 1: 1, 2: 0, 3: 0}
+
+    def test_parent_counts_exclude_source(self):
+        g = chain((0, 1), (0, 2), (1, 2))
+        assert parent_counts(g, 0) == {1: 1, 2: 2}
+
+
+class TestExtraction:
+    def test_extract_from_node_objects(self):
+        class FakeState:
+            def __init__(self, parents):
+                self.parents = {p: None for p in parents}
+
+        class FakeNode:
+            def __init__(self, nid, parents, alive=True):
+                self.node_id = nid
+                self.alive = alive
+                self.streams = {0: FakeState(parents)}
+
+        nodes = [FakeNode(0, []), FakeNode(1, [0]), FakeNode(2, [0, 1]), FakeNode(3, [2], alive=False)]
+        g = extract_structure(nodes)
+        assert set(g.nodes) == {0, 1, 2}
+        assert set(g.edges) == {(0, 1), (0, 2), (1, 2)}
+
+    def test_nodes_without_stream_state_are_isolated(self):
+        class Bare:
+            node_id = 5
+            alive = True
+            streams = {}
+
+        g = extract_structure([Bare()])
+        assert set(g.nodes) == {5}
+
+
+class TestRendering:
+    def test_to_dot_contains_all_edges(self):
+        g = chain((0, 1), (1, 2))
+        dot = to_dot(g, 0)
+        assert '"n0" -> "n1";' in dot
+        assert '"n1" -> "n2";' in dot
+        assert "fillcolor=lightgrey" in dot  # source highlighted
+
+    def test_structure_summary(self):
+        g = chain((0, 1), (1, 2), (0, 3))
+        s = structure_summary(g, 0)
+        assert s["nodes"] == 4 and s["edges"] == 3
+        assert s["max_depth"] == 2
+        assert s["leaves"] == 2  # nodes 2 and 3

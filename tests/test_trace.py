@@ -1,0 +1,96 @@
+"""Tests for the Listing-1 churn trace DSL."""
+
+import pytest
+
+from repro.errors import TraceParseError
+from repro.sim.trace import (
+    ConstChurn,
+    JoinRamp,
+    SetReplacementRatio,
+    Stop,
+    churn_trace,
+    parse_trace,
+)
+
+LISTING_1 = """
+from 1 s to 512 s join 512
+at 1000 s set replacement ratio to 100%
+from 1000 s to 1600 s const churn 5% each 60 s
+at 1600 s stop
+"""
+
+
+def test_parse_listing_1():
+    trace = parse_trace(LISTING_1)
+    assert trace.ops == (
+        JoinRamp(1.0, 512.0, 512),
+        SetReplacementRatio(1000.0, 1.0),
+        ConstChurn(1000.0, 1600.0, 5.0, 60.0),
+        Stop(1600.0),
+    )
+
+
+def test_trace_properties():
+    trace = parse_trace(LISTING_1)
+    assert trace.stop_time == 1600.0
+    assert trace.end_time == 1600.0
+    assert trace.total_joins == 512
+    assert len(trace.churn_ops()) == 1
+
+
+def test_case_and_whitespace_insensitive():
+    trace = parse_trace("FROM  1 S TO 10 S   JOIN 4")
+    assert trace.ops == (JoinRamp(1.0, 10.0, 4),)
+
+
+def test_comments_and_blank_lines_ignored():
+    trace = parse_trace("\n# setup\nfrom 0 s to 1 s join 2  # inline\n\n")
+    assert trace.ops == (JoinRamp(0.0, 1.0, 2),)
+
+
+def test_fractional_numbers():
+    trace = parse_trace("from 0.5 s to 1.5 s const churn 2.5% each 0.25 s")
+    op = trace.ops[0]
+    assert op == ConstChurn(0.5, 1.5, 2.5, 0.25)
+
+
+def test_unknown_statement_raises_with_location():
+    with pytest.raises(TraceParseError) as exc:
+        parse_trace("from 0 s to 1 s join 2\nfrobnicate the overlay")
+    assert exc.value.line_no == 2
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "from 10 s to 1 s join 5",  # ramp ends before start
+        "from 10 s to 1 s const churn 5% each 60 s",  # window reversed
+        "from 1 s to 10 s const churn 5% each 0 s",  # zero period
+        "from 1 s to 10 s const churn 150% each 60 s",  # >100%
+        "at 0 s set replacement ratio to 120%",  # >100%
+    ],
+)
+def test_semantic_validation(bad):
+    with pytest.raises(TraceParseError):
+        parse_trace(bad)
+
+
+def test_stop_time_defaults_to_end_time_without_stop():
+    trace = parse_trace("from 0 s to 100 s join 10")
+    assert trace.stop_time == 100.0
+
+
+def test_churn_trace_builder_matches_paper_shape():
+    trace = churn_trace(128, 3.0)
+    assert trace.total_joins == 128
+    op = trace.churn_ops()[0]
+    assert (op.start, op.end, op.percent, op.period) == (1000.0, 1600.0, 3.0, 60.0)
+    assert trace.stop_time == 1600.0
+
+
+def test_churn_trace_builder_custom_windows():
+    trace = churn_trace(64, 5.0, bootstrap_end=32.0, churn_start=50.0, churn_end=110.0, period=10.0)
+    op = trace.churn_ops()[0]
+    assert (op.start, op.end, op.period) == (50.0, 110.0, 10.0)
+    ramp = trace.ops[0]
+    assert isinstance(ramp, JoinRamp) and ramp.end == 32.0
