@@ -75,15 +75,18 @@ class FloodNode(HyParViewNode):
         hops: int,
         path_delay: float,
     ) -> None:
-        for peer in self.active:
-            if peer != exclude:
-                self.send(
-                    peer,
-                    FloodData(
-                        stream, seq, payload_bytes,
-                        hops=hops, path_delay=path_delay, sent_at=self.sim.now,
-                    ),
-                )
+        peers = [peer for peer in self.active if peer != exclude]
+        if peers:
+            # One shared message instance for the whole fan-out: FloodData
+            # is read-only at receivers, so batching is safe and skips the
+            # per-peer construction + accounting of the naive loop.
+            self.send_many(
+                peers,
+                FloodData(
+                    stream, seq, payload_bytes,
+                    hops=hops, path_delay=path_delay, sent_at=self.sim.now,
+                ),
+            )
 
     def on_flood_data(self, src: NodeId, msg: FloodData) -> None:
         seen = self.delivered.setdefault(msg.stream, set())

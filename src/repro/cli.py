@@ -6,11 +6,13 @@ Commands mirror the per-experiment index of DESIGN.md §4::
     python -m repro run fig2 --scale fast    # one artifact, print rows
     python -m repro run all --scale fast     # every artifact
     python -m repro quickstart               # the README quickstart
+    python -m repro scale --scale xl         # 10k-node flood benchmark
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable
 
@@ -133,9 +135,49 @@ def make_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list reproducible artifacts")
     run = sub.add_parser("run", help="run one artifact (or 'all')")
     run.add_argument("experiment", choices=[*EXPERIMENTS, "all"])
-    run.add_argument("--scale", default=None, help="tiny | fast | paper")
+    run.add_argument("--scale", default=None, help="tiny | fast | paper | large | xl")
     sub.add_parser("quickstart", help="run the README quickstart")
+    sc_cmd = sub.add_parser(
+        "scale", help="large-scale flood benchmark (see DESIGN.md §6)"
+    )
+    sc_cmd.add_argument("--scale", default="large", help="tiny | fast | paper | large | xl")
+    sc_cmd.add_argument("--nodes", type=int, default=None,
+                        help="override the population (default: scale's cluster_nodes)")
+    sc_cmd.add_argument("--messages", type=int, default=20,
+                        help="stream length (default 20)")
+    sc_cmd.add_argument("--degree", type=int, default=5, help="overlay degree")
+    sc_cmd.add_argument("--rate", type=float, default=20.0, help="injection rate (msgs/s)")
+    sc_cmd.add_argument("--seed", type=int, default=1)
+    sc_cmd.add_argument("--json", dest="json_path", default=None, metavar="FILE",
+                        help="also write the results as JSON")
+    sc_cmd.add_argument("--no-microbench", action="store_true",
+                        help="skip the legacy-vs-fast engine microbenchmark")
     return parser
+
+
+def _run_scale(args) -> int:
+    try:
+        scale = sc.get_scale(args.scale)
+        nodes = args.nodes if args.nodes is not None else scale.cluster_nodes
+        result = sc.run_scale_flood(
+            nodes, args.messages, degree=args.degree, rate=args.rate, seed=args.seed
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(rp.banner(f"Scale flood — {nodes} nodes ({args.scale})"))
+    print(result.summary())
+    payload = {"scale_run": result.to_dict()}
+    if not args.no_microbench:
+        bench = sc.engine_microbench()
+        print(rp.banner("Engine microbenchmark — legacy vs fused hot path"))
+        print(bench.summary())
+        payload["microbench"] = bench.to_dict()
+    if args.json_path:
+        with open(args.json_path, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"\nwrote {args.json_path}")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -149,6 +191,8 @@ def main(argv: list[str] | None = None) -> int:
 
         print(quick_brisa_run().summary())
         return 0
+    if args.command == "scale":
+        return _run_scale(args)
     scale = sc.get_scale(args.scale)
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:

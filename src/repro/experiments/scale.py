@@ -3,7 +3,9 @@
 ``paper`` reproduces the published populations and message counts (§III:
 512 cluster nodes, 150–200 PlanetLab nodes, 500 messages at 5/s, 10 min
 of churn).  ``fast`` shrinks everything shape-preservingly so the whole
-bench suite completes in minutes.  Select with ``REPRO_SCALE=paper``.
+bench suite completes in minutes.  ``large`` (2k) and ``xl`` (10k) go
+beyond the paper for the scale benchmarks enabled by the simulator
+hot-path overhaul.  Select with ``REPRO_SCALE=paper`` etc.
 """
 
 from __future__ import annotations
@@ -74,7 +76,36 @@ TINY = Scale(
     join_spacing=0.05,
 )
 
-SCALES = {"paper": PAPER, "fast": FAST, "tiny": TINY}
+#: Beyond-paper populations opened by the hot-path overhaul (DESIGN.md §6).
+#: ``large`` is the CI smoke size for the scale benchmark; ``xl`` is the
+#: 10k-node target every scaling PR is measured against.
+LARGE = Scale(
+    name="large",
+    cluster_nodes=2048,
+    planetlab_nodes=150,
+    planetlab_nodes_large=200,
+    small_nodes=256,
+    messages=200,
+    churn_duration=300.0,
+    churn_period=60.0,
+    settle=45.0,
+    join_spacing=0.05,
+)
+
+XL = Scale(
+    name="xl",
+    cluster_nodes=10_000,
+    planetlab_nodes=150,
+    planetlab_nodes_large=200,
+    small_nodes=512,
+    messages=100,
+    churn_duration=300.0,
+    churn_period=60.0,
+    settle=60.0,
+    join_spacing=0.01,
+)
+
+SCALES = {"paper": PAPER, "fast": FAST, "tiny": TINY, "large": LARGE, "xl": XL}
 
 
 def get_scale(name: str | None = None) -> Scale:

@@ -1,0 +1,383 @@
+"""Large-scale flood dissemination: the simulator hot-path proving ground.
+
+The paper stops at 512 cluster nodes; the interesting epidemic
+reliability/efficiency trade-offs appear at populations well beyond that
+(cf. Moreno et al. on epidemic dissemination in complex networks).  This
+module opens those scenarios: it builds a *static* random overlay —
+skipping the HyParView join ramp, which would dominate a benchmark of
+the dissemination hot path — floods a stream over it, and reports engine
+throughput (events/s, deliveries/s, peak heap backlog, wall time).
+
+It also carries the **engine microbenchmark** used as the performance
+baseline of the hot-path overhaul: :func:`engine_microbench` measures,
+on the same machine and the same fan-out workload, the pre-overhaul
+delivery chain (per-peer message construction and accounting, a fresh
+``EventHandle`` per event, ``send → _deliver → _process`` with a node
+lookup at every step, the bounded ``run(until=...)`` loop) against the
+current fused path (shared fan-out message, batched accounting, pooled
+fire-and-forget events, ``run_until_idle``).  Throughput is compared in
+*delivery events completed per second* — the unit of useful simulator
+work — because the legacy chain spreads one delivery over several heap
+events and a raw heap-event rate would flatter it.  See DESIGN.md §2.
+
+Scenario entry points: :func:`run_scale_flood` (library / benchmark) and
+the ``repro scale`` CLI subcommand.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass
+from typing import Optional
+
+from repro.baselines.flood import FloodNode
+from repro.config import HyParViewConfig
+from repro.ids import NodeId
+from repro.sim.engine import Simulator
+from repro.sim.latency import ConstantLatency, LatencyModel
+from repro.sim.message import Message
+from repro.sim.monitor import DISSEMINATION, Metrics
+from repro.sim.network import Network
+
+
+@dataclass
+class ScaleFloodResult:
+    """Outcome + engine telemetry of one large-scale flood run."""
+
+    nodes: int
+    degree: int
+    messages: int
+    payload_bytes: int
+    seed: int
+    #: Simulated seconds the dissemination spanned.
+    sim_time: float
+    #: Wall-clock seconds of the dissemination run loop.
+    wall_time: float
+    #: Engine events processed during dissemination.
+    events: int
+    events_per_sec: float
+    #: First-time message receptions across all receivers.
+    deliveries: int
+    deliveries_per_sec: float
+    #: Fraction of (message, receiver) pairs delivered.
+    delivered_fraction: float
+    #: Largest heap backlog ever observed.
+    peak_pending: int
+    #: EventHandle free-list high-water mark after the run.
+    handle_pool_size: int
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    def summary(self) -> str:
+        return "\n".join(
+            [
+                f"nodes: {self.nodes} (degree ~{self.degree})",
+                f"messages: {self.messages} x {self.payload_bytes} B",
+                f"delivered: {self.delivered_fraction * 100:.2f}%",
+                f"sim time: {self.sim_time:.2f} s   wall time: {self.wall_time:.2f} s",
+                f"events: {self.events:,} ({self.events_per_sec:,.0f}/s)",
+                f"deliveries: {self.deliveries:,} ({self.deliveries_per_sec:,.0f}/s)",
+                f"peak heap: {self.peak_pending:,}   handle pool: {self.handle_pool_size:,}",
+            ]
+        )
+
+
+def build_static_flood_overlay(
+    n: int,
+    *,
+    degree: int = 5,
+    seed: int = 1,
+    latency: Optional[LatencyModel] = None,
+    record_deliveries: bool = False,
+    shuffles: bool = False,
+) -> tuple[Simulator, Network, list[FloodNode]]:
+    """Spawn ``n`` flood nodes pre-wired into a connected random overlay.
+
+    The graph is a Hamiltonian ring (connectivity guarantee) plus random
+    chords up to an average degree of ``degree`` — the same shape a
+    settled HyParView overlay converges to, built in O(n) instead of
+    simulating the join ramp.  ``shuffles=False`` (default) stops the
+    HyParView shuffle timers: a static overlay has no churn to repair,
+    and a drained heap then marks the exact end of dissemination.
+    """
+    if n < 3:
+        raise ValueError("need at least 3 nodes for a ring overlay")
+    if degree < 2:
+        raise ValueError("degree must be >= 2 (ring minimum)")
+    sim = Simulator(seed=seed)
+    net = Network(
+        sim,
+        latency if latency is not None else ConstantLatency(0.001, seed=seed),
+        Metrics(record_deliveries=record_deliveries),
+    )
+    # The static views may exceed HyParView's default cap; size the config
+    # so the wiring below is legal under the protocol's own limits.
+    hpv = HyParViewConfig(active_size=max(4, degree), passive_size=16)
+    nodes = [net.spawn(lambda network, nid: FloodNode(network, nid, hpv)) for _ in range(n)]
+    if not shuffles:
+        for node in nodes:
+            node._shuffle_task.stop()
+
+    def wire(a: NodeId, b: NodeId) -> None:
+        nodes[a].active[b] = None
+        nodes[b].active[a] = None
+        net.register_link(a, b)
+
+    edges: set[tuple[NodeId, NodeId]] = set()
+    for i in range(n):
+        j = (i + 1) % n
+        edges.add((min(i, j), max(i, j)))
+        wire(i, j)
+    rng = sim.rng("static-overlay")
+    target_edges = (n * degree) // 2
+    attempts = 0
+    while len(edges) < target_edges and attempts < 20 * target_edges:
+        attempts += 1
+        a = rng.randrange(n)
+        b = rng.randrange(n)
+        if a == b:
+            continue
+        key = (min(a, b), max(a, b))
+        if key in edges:
+            continue
+        edges.add(key)
+        wire(a, b)
+    return sim, net, nodes
+
+
+def run_scale_flood(
+    nodes: int,
+    messages: int,
+    *,
+    degree: int = 5,
+    rate: float = 20.0,
+    payload_bytes: int = 1024,
+    seed: int = 1,
+    drain: float = 10.0,
+    latency: Optional[LatencyModel] = None,
+) -> ScaleFloodResult:
+    """Disseminate ``messages`` flood messages over a ``nodes``-population
+    static overlay and measure engine throughput while doing it."""
+    if messages < 1:
+        raise ValueError("need at least one message to disseminate")
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    sim, net, flood_nodes = build_static_flood_overlay(
+        nodes, degree=degree, seed=seed, latency=latency
+    )
+    source = flood_nodes[0]
+    net.metrics.set_phase(DISSEMINATION, sim.now)
+    start = sim.now
+    for seq in range(messages):
+        sim.call_at(start + seq / rate, source.inject, 0, seq, payload_bytes)
+    events_before = sim.events_processed
+    t0 = time.perf_counter()
+    # The overlay is static and shuffle-free: the heap drains exactly when
+    # the last in-flight message lands, so the batched loop needs no bound.
+    sim.run_until_idle()
+    wall = time.perf_counter() - t0
+    events = sim.events_processed - events_before
+    span = max(sim.now - start, 1e-9)
+    net.metrics.close(sim.now)
+    net.account_keepalives(DISSEMINATION, span)
+
+    receivers = len(flood_nodes) - 1
+    deliveries = sum(node.delivered_count(0) for node in flood_nodes[1:])
+    wall = max(wall, 1e-9)
+    return ScaleFloodResult(
+        nodes=nodes,
+        degree=degree,
+        messages=messages,
+        payload_bytes=payload_bytes,
+        seed=seed,
+        sim_time=span,
+        wall_time=wall,
+        events=events,
+        events_per_sec=events / wall,
+        deliveries=deliveries,
+        deliveries_per_sec=deliveries / wall,
+        delivered_fraction=deliveries / (receivers * messages) if receivers else 1.0,
+        peak_pending=sim.peak_pending,
+        handle_pool_size=sim.pool_size,
+    )
+
+
+# ----------------------------------------------------------------------
+# Engine microbenchmark: pre-overhaul delivery chain vs the fused path
+# ----------------------------------------------------------------------
+class _BenchPayload(Message):
+    """Fixed-size payload used by both microbench sides."""
+
+    kind = "bench_payload"
+    __slots__ = ("seq",)
+
+    def __init__(self, seq: int = 0) -> None:
+        self.seq = seq
+
+    def body_bytes(self) -> int:
+        return 1024
+
+
+class _SinkNode:
+    """Terminal receiver: counts deliveries, forwards nothing."""
+
+    __slots__ = ("node_id", "alive", "received")
+
+    def __init__(self, node_id: NodeId) -> None:
+        self.node_id = node_id
+        self.alive = True
+        self.received = 0
+
+    def handle_message(self, src: NodeId, msg: Message) -> None:
+        self.received += 1
+
+
+class _LegacyNetwork:
+    """The pre-overhaul delivery chain, preserved for baseline runs.
+
+    Faithful to the seed implementation: every event allocates a fresh
+    cancellable ``EventHandle`` through ``schedule_at``, delivery walks
+    ``send → _deliver → _process`` with a ``nodes`` lookup at each step
+    and an ``rx_cost`` probe per message, and fan-out callers construct
+    one message *per peer* with one accounting call per send.
+    """
+
+    def __init__(self, sim: Simulator, latency: LatencyModel, metrics: Metrics) -> None:
+        self.sim = sim
+        self.latency = latency
+        self.metrics = metrics
+        self.nodes: dict[NodeId, _SinkNode] = {}
+        self._busy: dict[NodeId, float] = {}
+
+    def send(self, src: NodeId, dst: NodeId, msg: Message) -> None:
+        sender = self.nodes.get(src)
+        if sender is None or not sender.alive:
+            return
+        size = msg.size_bytes()
+        self.metrics.account_send(src, msg.kind, size)
+        now = self.sim.now
+        tx_cost = self.latency.tx_cost(src, size)
+        if tx_cost > 0.0:
+            tx_done = max(now, self._busy.get(src, now)) + tx_cost
+            self._busy[src] = tx_done
+        else:
+            tx_done = now
+        arrival = tx_done + self.latency.sample(src, dst)
+        self.sim.schedule_at(arrival, self._deliver, src, dst, msg, size)
+
+    def _deliver(self, src: NodeId, dst: NodeId, msg: Message, size: int) -> None:
+        node = self.nodes.get(dst)
+        if node is None or not node.alive:
+            return
+        rx_cost = self.latency.rx_cost(dst, size)
+        if rx_cost > 0.0:
+            now = self.sim.now
+            ready = max(now, self._busy.get(dst, now)) + rx_cost
+            self._busy[dst] = ready
+            self.sim.schedule_at(ready, self._process, src, dst, msg, size)
+        else:
+            self._process(src, dst, msg, size)
+
+    def _process(self, src: NodeId, dst: NodeId, msg: Message, size: int) -> None:
+        node = self.nodes.get(dst)
+        if node is None or not node.alive:
+            return
+        self.metrics.account_receive(dst, size)
+        node.handle_message(src, msg)
+
+
+@dataclass
+class MicrobenchResult:
+    """Same-machine engine throughput: legacy chain vs fused fast path."""
+
+    fanout: int
+    rounds: int
+    legacy_deliveries_per_sec: float
+    legacy_events_per_sec: float
+    fast_deliveries_per_sec: float
+    fast_events_per_sec: float
+
+    @property
+    def speedup(self) -> float:
+        """Delivery-event throughput ratio (the acceptance metric)."""
+        return self.fast_deliveries_per_sec / max(self.legacy_deliveries_per_sec, 1e-9)
+
+    def to_dict(self) -> dict:
+        d = asdict(self)
+        d["speedup"] = self.speedup
+        return d
+
+    def summary(self) -> str:
+        return "\n".join(
+            [
+                f"workload: {self.rounds} rounds x fanout {self.fanout}",
+                f"legacy (pre-overhaul): {self.legacy_deliveries_per_sec:,.0f} deliveries/s "
+                f"({self.legacy_events_per_sec:,.0f} heap events/s)",
+                f"fast (fused + pooled): {self.fast_deliveries_per_sec:,.0f} deliveries/s "
+                f"({self.fast_events_per_sec:,.0f} heap events/s)",
+                f"speedup: {self.speedup:.2f}x",
+            ]
+        )
+
+
+def engine_microbench(
+    rounds: int = 20_000, fanout: int = 5, nodes: int = 512, *, seed: int = 7,
+    repeats: int = 3,
+) -> MicrobenchResult:
+    """Measure the legacy delivery chain against the fused fast path.
+
+    Both sides run the identical workload — ``rounds`` fan-outs of
+    ``fanout`` 1 KB messages over ``nodes`` sinks with the same constant
+    latency — and report delivery throughput.  The best of ``repeats``
+    runs is kept per side (standard microbench practice: the minimum-
+    noise sample).
+    """
+
+    def run_legacy() -> tuple[float, float]:
+        sim = Simulator(seed=seed)
+        net = _LegacyNetwork(sim, ConstantLatency(0.001, seed=seed), Metrics(record_deliveries=False))
+        for i in range(nodes):
+            net.nodes[i] = _SinkNode(i)
+
+        def fan_out(src: NodeId, base: int) -> None:
+            # Pre-overhaul fan-out idiom: a fresh message per peer.
+            for k in range(fanout):
+                net.send(src, (base + k) % nodes, _BenchPayload(base))
+
+        for r in range(rounds):
+            sim.schedule_at(r * 1e-5, fan_out, r % nodes, (r + 1) % nodes)
+        t0 = time.perf_counter()
+        sim.run(until=rounds * 1e-5 + 1.0)
+        wall = max(time.perf_counter() - t0, 1e-9)
+        delivered = sum(s.received for s in net.nodes.values())
+        return delivered / wall, sim.events_processed / wall
+
+    def run_fast() -> tuple[float, float]:
+        sim = Simulator(seed=seed)
+        net = Network(sim, ConstantLatency(0.001, seed=seed), Metrics(record_deliveries=False))
+        for i in range(nodes):
+            net.nodes[i] = _SinkNode(i)  # type: ignore[assignment]
+
+        def fan_out(src: NodeId, base: int) -> None:
+            dsts = [(base + k) % nodes for k in range(fanout)]
+            net.send_many(src, dsts, _BenchPayload(base))
+
+        for r in range(rounds):
+            sim.call_at(r * 1e-5, fan_out, r % nodes, (r + 1) % nodes)
+        t0 = time.perf_counter()
+        sim.run_until_idle()
+        wall = max(time.perf_counter() - t0, 1e-9)
+        delivered = sum(s.received for s in net.nodes.values())  # type: ignore[union-attr]
+        return delivered / wall, sim.events_processed / wall
+
+    legacy = max((run_legacy() for _ in range(repeats)), key=lambda t: t[0])
+    fast = max((run_fast() for _ in range(repeats)), key=lambda t: t[0])
+    return MicrobenchResult(
+        fanout=fanout,
+        rounds=rounds,
+        legacy_deliveries_per_sec=legacy[0],
+        legacy_events_per_sec=legacy[1],
+        fast_deliveries_per_sec=fast[0],
+        fast_events_per_sec=fast[1],
+    )

@@ -40,7 +40,14 @@ from repro.experiments.robustness import (
     fig14_recovery,
     table1_churn,
 )
-from repro.experiments.scale import FAST, PAPER, Scale, get_scale
+from repro.experiments.scale import FAST, LARGE, PAPER, XL, Scale, get_scale
+from repro.experiments.scale_flood import (
+    MicrobenchResult,
+    ScaleFloodResult,
+    build_static_flood_overlay,
+    engine_microbench,
+    run_scale_flood,
+)
 from repro.experiments.structural import (
     Fig2Result,
     Fig8Result,
@@ -59,9 +66,16 @@ __all__ = [
     "Fig2Result",
     "Fig8Result",
     "Fig9Result",
+    "LARGE",
+    "MicrobenchResult",
     "PAPER",
     "Scale",
+    "ScaleFloodResult",
+    "XL",
     "StructureDistributions",
+    "build_static_flood_overlay",
+    "engine_microbench",
+    "run_scale_flood",
     "Table1Result",
     "Table1Row",
     "Table2Result",

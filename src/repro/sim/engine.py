@@ -6,6 +6,19 @@ order, making same-timestamp processing deterministic.  Cancellation is
 lazy (a flag on the handle) so cancel is O(1) and the heap never needs
 re-sifting — the standard pattern for high-churn simulations where most
 timers are cancelled before firing.
+
+Two scheduling tiers keep the hot path cheap (see DESIGN.md §1):
+
+- :meth:`Simulator.schedule` / :meth:`Simulator.schedule_at` return a
+  fresh cancellable :class:`EventHandle` — the safe API for timers.
+- :meth:`Simulator.call_later` / :meth:`Simulator.call_at` are
+  fire-and-forget: no handle escapes to the caller, so the engine reuses
+  ``EventHandle`` objects from a free list (slab reuse) instead of
+  allocating one per event.  Message deliveries — the overwhelming bulk
+  of events in a dissemination run — go through this tier.
+
+:meth:`Simulator.run_until_idle` is the batched drain loop: no ``until``
+or ``max_events`` bookkeeping per event, locals bound outside the loop.
 """
 
 from __future__ import annotations
@@ -20,13 +33,16 @@ from repro.sim.rng import derive
 class EventHandle:
     """Handle to a scheduled event; ``cancel()`` is O(1) and idempotent."""
 
-    __slots__ = ("time", "fn", "args", "cancelled")
+    __slots__ = ("time", "fn", "args", "cancelled", "_pooled")
 
     def __init__(self, time: float, fn: Callable, args: tuple) -> None:
         self.time = time
         self.fn = fn
         self.args = args
         self.cancelled = False
+        #: Pool-owned handles never escape the engine, so they are safe to
+        #: recycle the moment their event fires (no aliasing with callers).
+        self._pooled = False
 
     def cancel(self) -> None:
         self.cancelled = True
@@ -51,6 +67,11 @@ class Simulator:
         self._running = False
         self._stopped = False
         self.events_processed = 0
+        #: Free list of pooled handles (high-water mark = peak in-flight
+        #: fire-and-forget events; bounded, never trimmed).
+        self._free: list[EventHandle] = []
+        #: Largest heap size ever observed (peak scheduled backlog).
+        self.peak_pending = 0
 
     # ------------------------------------------------------------------
     # Randomness
@@ -60,7 +81,7 @@ class Simulator:
         return derive(self.seed, *labels)
 
     # ------------------------------------------------------------------
-    # Scheduling
+    # Scheduling — cancellable tier
     # ------------------------------------------------------------------
     def schedule(self, delay: float, fn: Callable, *args) -> EventHandle:
         """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
@@ -76,8 +97,42 @@ class Simulator:
             )
         handle = EventHandle(time, fn, args)
         self._seq += 1
-        heapq.heappush(self._heap, (time, self._seq, handle))
+        heap = self._heap
+        heapq.heappush(heap, (time, self._seq, handle))
+        if len(heap) > self.peak_pending:
+            self.peak_pending = len(heap)
         return handle
+
+    # ------------------------------------------------------------------
+    # Scheduling — fire-and-forget fast tier (pooled handles)
+    # ------------------------------------------------------------------
+    def call_later(self, delay: float, fn: Callable, *args) -> None:
+        """Like :meth:`schedule` but returns no handle; the event cannot
+        be cancelled, which lets the engine recycle its slab entry."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        self.call_at(self.now + delay, fn, *args)
+
+    def call_at(self, time: float, fn: Callable, *args) -> None:
+        """Like :meth:`schedule_at` but fire-and-forget (pooled)."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time} before current time {self.now}"
+            )
+        free = self._free
+        if free:
+            handle = free.pop()
+            handle.time = time
+            handle.fn = fn
+            handle.args = args
+        else:
+            handle = EventHandle(time, fn, args)
+            handle._pooled = True
+        self._seq += 1
+        heap = self._heap
+        heapq.heappush(heap, (time, self._seq, handle))
+        if len(heap) > self.peak_pending:
+            self.peak_pending = len(heap)
 
     # ------------------------------------------------------------------
     # Execution
@@ -87,15 +142,21 @@ class Simulator:
         ``max_events`` have run.  Returns the number of events processed.
 
         When ``until`` is given, virtual time is advanced to exactly
-        ``until`` on return even if the heap drained earlier, so periodic
-        bookkeeping that reads ``sim.now`` stays consistent.
+        ``until`` on return — but only when no live event at or before
+        ``until`` remains unprocessed.  A break caused by ``max_events``
+        leaves ``now`` at the last processed event so that a subsequent
+        ``run()`` never moves the clock backwards.
         """
+        if until is None and max_events is None:
+            return self.run_until_idle()
         if self._running:
             raise SimulationError("run() is not reentrant")
         self._running = True
         self._stopped = False
         processed = 0
         heap = self._heap
+        pop = heapq.heappop
+        free_append = self._free.append
         try:
             while heap and not self._stopped:
                 time, _, handle = heap[0]
@@ -103,7 +164,17 @@ class Simulator:
                     break
                 if max_events is not None and processed >= max_events:
                     break
-                heapq.heappop(heap)
+                pop(heap)
+                if handle._pooled:
+                    self.now = time
+                    fn = handle.fn
+                    args = handle.args
+                    handle.fn = None
+                    handle.args = ()
+                    free_append(handle)
+                    fn(*args)
+                    processed += 1
+                    continue
                 if handle.cancelled:
                     continue
                 self.now = time
@@ -112,7 +183,50 @@ class Simulator:
         finally:
             self._running = False
         if until is not None and not self._stopped and self.now < until:
-            self.now = until
+            next_live = self.next_event_time()
+            if next_live is None or next_live > until:
+                self.now = until
+        self.events_processed += processed
+        return processed
+
+    def run_until_idle(self) -> int:
+        """Drain the heap in a tight batched loop.
+
+        Semantically equivalent to ``run()`` without bounds, but skips the
+        per-event ``until``/``max_events`` checks and binds hot attributes
+        to locals once.  ``stop()`` is still honoured between events.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        self._stopped = False
+        processed = 0
+        heap = self._heap
+        pop = heapq.heappop
+        free_append = self._free.append
+        try:
+            while heap:
+                if self._stopped:
+                    break
+                entry = pop(heap)
+                handle = entry[2]
+                if handle._pooled:
+                    self.now = entry[0]
+                    fn = handle.fn
+                    args = handle.args
+                    handle.fn = None
+                    handle.args = ()
+                    free_append(handle)
+                    fn(*args)
+                    processed += 1
+                    continue
+                if handle.cancelled:
+                    continue
+                self.now = entry[0]
+                handle.fn(*handle.args)
+                processed += 1
+        finally:
+            self._running = False
         self.events_processed += processed
         return processed
 
@@ -124,6 +238,11 @@ class Simulator:
     def pending(self) -> int:
         """Number of heap entries (including lazily-cancelled ones)."""
         return len(self._heap)
+
+    @property
+    def pool_size(self) -> int:
+        """Handles currently parked in the free list (introspection)."""
+        return len(self._free)
 
     def next_event_time(self) -> Optional[float]:
         """Timestamp of the next live event, or None if the heap is empty."""
@@ -137,6 +256,11 @@ class PeriodicTask:
 
     Protocol timers (shuffles, keep-alives, pulls) use jitter to avoid the
     lock-step synchrony a real deployment never exhibits.
+
+    Stop/restart semantics: ``stop()`` cancels the pending firing;
+    ``start()`` after a ``stop()`` behaves exactly like the first start,
+    including the ``start_delay`` override.  ``stop()`` called from inside
+    ``fn()`` during a firing suppresses the re-schedule.
     """
 
     def __init__(

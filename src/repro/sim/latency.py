@@ -37,6 +37,10 @@ class LatencyModel(ABC):
     node_bandwidth: float | None = None
     #: Per-message CPU/processing overhead in seconds.
     proc_overhead: float = 0.0
+    #: Set to the delay value when ``sample()`` returns the same constant
+    #: for every pair and every draw; lets the network fuse a whole
+    #: fan-out (identical arrival times) into one heap event.
+    uniform_delay: float | None = None
 
     def __init__(self, seed: int = 0) -> None:
         self.seed = seed
@@ -69,6 +73,21 @@ class LatencyModel(ABC):
             cost += size_bytes / self.node_bandwidth
         return cost
 
+    def zero_cost(self) -> bool:
+        """True when this model charges no per-node occupancy at all —
+        every ``tx_cost``/``rx_cost`` is exactly zero for any message.
+
+        The network probes this once at construction to pick the fused
+        single-event delivery path (DESIGN.md §2).  A subclass overriding
+        ``tx_cost``/``rx_cost`` is conservatively treated as costly.
+        """
+        return (
+            type(self).tx_cost is LatencyModel.tx_cost
+            and type(self).rx_cost is LatencyModel.rx_cost
+            and not self.node_bandwidth
+            and self.proc_overhead == 0.0
+        )
+
 
 class ConstantLatency(LatencyModel):
     """Fixed one-way delay; the unit-test workhorse."""
@@ -78,6 +97,7 @@ class ConstantLatency(LatencyModel):
         if delay < 0:
             raise ValueError("delay must be >= 0")
         self.delay = delay
+        self.uniform_delay = delay
 
     def expected_owd(self, src: NodeId, dst: NodeId) -> float:
         return self.delay

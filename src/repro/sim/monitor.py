@@ -114,6 +114,13 @@ class Metrics:
         self.bytes_sent[node][self.phase] += nbytes
         self.msg_counts[kind][self.phase] += 1
 
+    def account_send_many(self, node: NodeId, kind: str, nbytes: int, count: int) -> None:
+        """Batched form of :meth:`account_send` for fan-out sends: one
+        dict walk for ``count`` identical messages (same totals)."""
+        phase = self.phase
+        self.bytes_sent[node][phase] += nbytes * count
+        self.msg_counts[kind][phase] += count
+
     def account_receive(self, node: NodeId, nbytes: int) -> None:
         self.bytes_received[node][self.phase] += nbytes
 

@@ -9,14 +9,22 @@ connection of the HyParView active view) produces an
 keep-alive-detection delay after a crash (§II-A, §II-F).
 
 Messages in flight to a crashed node are dropped at delivery time — the
-TCP connection would have been reset — and, if the link was registered,
-the sender is notified through the same failure-detection path.
+TCP connection would have been reset — counted under the ``dropped``
+metrics counter and, if the link was registered, the sender is notified
+through the same failure-detection path.
+
+Delivery hot path (DESIGN.md §2): with a zero-occupancy latency model
+(``LatencyModel.zero_cost()`` — no NIC serialization, no per-message
+processing cost) the ``send → _deliver → _process`` chain collapses into
+a single pooled fire-and-forget event per message, and fan-out sends
+share one message instance and one batched accounting call through
+:meth:`send_many`.  Models with occupancy costs keep the full queueing
+chain.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import Callable, Optional
+from typing import Callable, Iterable, Optional
 
 from repro.errors import SimulationError
 from repro.ids import NodeId
@@ -47,10 +55,15 @@ class Network:
         self.capacity_sigma = capacity_sigma
         self.nodes: dict[NodeId, ProtocolNode] = {}
         self._next_id = 0
-        #: Registered TCP links, by endpoint.
-        self.links: dict[NodeId, set[NodeId]] = defaultdict(set)
-        #: (observer, failed) pairs already notified, to de-duplicate
-        #: crash-driven and send-failure-driven notifications.
+        #: Registered TCP links, by endpoint.  Invariant: every key maps to
+        #: a non-empty peer set and belongs to a live node — crash() and
+        #: _unlink() prune aggressively so keep-alive accounting can walk
+        #: exactly the live links (DESIGN.md §5).
+        self.links: dict[NodeId, set[NodeId]] = {}
+        #: (observer, failed) pairs with a failure notice in flight, to
+        #: de-duplicate crash-driven and send-failure-driven notifications.
+        #: Entries are dropped again once the notice fires, so the set
+        #: stays bounded under arbitrarily long churn runs.
         self._notified: set[tuple[NodeId, NodeId]] = set()
         self._rng = derive(sim.seed, "network")
         self._capacities: dict[NodeId, float] = {}
@@ -61,6 +74,10 @@ class Network:
         #: the single-core model that makes duplicate processing delay a
         #: node's own forwards (the §III-B "heavy load" effect).
         self._busy: dict[NodeId, float] = {}
+        #: True when the latency model has no occupancy costs: deliveries
+        #: take the single-event fused path (decided once — occupancy is a
+        #: static property of the model, not of simulation state).
+        self._fast_delivery = self.latency.zero_cost()
 
     # ------------------------------------------------------------------
     # Node lifecycle
@@ -92,7 +109,9 @@ class Network:
         return [nid for nid, node in self.nodes.items() if node.alive]
 
     def crash(self, node_id: NodeId) -> None:
-        """Fail a node: stop it, notify linked peers after detection delay."""
+        """Fail a node: stop it, notify linked peers after detection delay,
+        and purge every per-node bookkeeping entry so long churn runs do
+        not grow memory without bound."""
         node = self.nodes.get(node_id)
         if node is None or not node.alive:
             return
@@ -102,6 +121,14 @@ class Network:
             self._unlink(node_id, peer)
             self._schedule_failure_notice(peer, node_id)
         self.links.pop(node_id, None)
+        self._busy.pop(node_id, None)
+        self._capacities.pop(node_id, None)
+        # Pending notices *to* the dead node will never be acted on; their
+        # dedup entries would otherwise outlive the node forever (ids are
+        # never reused).  Notices *about* it stay until they fire.
+        self._notified = {
+            pair for pair in self._notified if pair[0] != node_id
+        }
         for listener in self.crash_listeners:
             listener(node_id)
 
@@ -112,8 +139,15 @@ class Network:
         """Record an open TCP connection between two live nodes."""
         if a == b:
             raise SimulationError("cannot link a node to itself")
-        self.links[a].add(b)
-        self.links[b].add(a)
+        links = self.links
+        peers = links.get(a)
+        if peers is None:
+            peers = links[a] = set()
+        peers.add(b)
+        peers = links.get(b)
+        if peers is None:
+            peers = links[b] = set()
+        peers.add(a)
         self._notified.discard((a, b))
         self._notified.discard((b, a))
 
@@ -121,8 +155,17 @@ class Network:
         self._unlink(a, b)
 
     def _unlink(self, a: NodeId, b: NodeId) -> None:
-        self.links.get(a, set()).discard(b)
-        self.links.get(b, set()).discard(a)
+        links = self.links
+        peers = links.get(a)
+        if peers is not None:
+            peers.discard(b)
+            if not peers:
+                del links[a]
+        peers = links.get(b)
+        if peers is not None:
+            peers.discard(a)
+            if not peers:
+                del links[b]
 
     def linked(self, a: NodeId, b: NodeId) -> bool:
         return b in self.links.get(a, ())
@@ -132,9 +175,12 @@ class Network:
             return
         self._notified.add((observer, failed))
         delay = self._rng.uniform(0.5, 1.5) * self.keepalive_period
-        self.sim.schedule(delay, self._deliver_failure_notice, observer, failed)
+        self.sim.call_later(delay, self._deliver_failure_notice, observer, failed)
 
     def _deliver_failure_notice(self, observer: NodeId, failed: NodeId) -> None:
+        # The in-flight notice has landed: its dedup entry has done its
+        # job (register_link also clears it on reconnection).
+        self._notified.discard((observer, failed))
         node = self.nodes.get(observer)
         if node is not None and node.alive and not self.alive(failed):
             node.on_link_failed(failed)
@@ -148,7 +194,7 @@ class Network:
         Total delay = sender serialization queue (NIC bandwidth + per-
         message processing, serialized per node) + propagation latency +
         receiver processing queue.  With a zero-cost latency model this
-        reduces to pure propagation delay.
+        reduces to pure propagation delay and a single scheduled event.
         """
         if src == dst:
             raise SimulationError(f"node {src} attempted to message itself")
@@ -157,40 +203,124 @@ class Network:
             return
         size = msg.size_bytes()
         self.metrics.account_send(src, msg.kind, size)
+        sim = self.sim
+        if self._fast_delivery:
+            delay = self.latency.uniform_delay
+            if delay is None:
+                delay = self.latency.sample(src, dst)
+            sim.call_at(sim.now + delay, self._deliver_fast, src, dst, msg, size)
+            return
+        arrival = self._enqueue_tx(src, size) + self.latency.sample(src, dst)
+        sim.call_at(arrival, self._deliver, src, dst, msg, size)
+
+    def _enqueue_tx(self, src: NodeId, size: int) -> float:
+        """Serialize one transmission on ``src``'s occupancy horizon and
+        return the time it leaves the NIC."""
         now = self.sim.now
         tx_cost = self.latency.tx_cost(src, size)
-        if tx_cost > 0.0:
-            tx_done = max(now, self._busy.get(src, now)) + tx_cost
-            self._busy[src] = tx_done
+        if tx_cost <= 0.0:
+            return now
+        tx_done = max(now, self._busy.get(src, now)) + tx_cost
+        self._busy[src] = tx_done
+        return tx_done
+
+    def send_many(self, src: NodeId, dsts: Iterable[NodeId], msg: Message) -> int:
+        """Fan ``msg`` out from ``src`` to every destination in ``dsts``.
+
+        The *same* message instance is shared by all recipients — senders
+        must treat a message as immutable once handed to the network
+        (every protocol here does; it is the wire abstraction).  Sharing
+        lifts the per-peer message construction and byte-size computation
+        out of fan-out loops, and the traffic accounting collapses into
+        one batched call.  Returns the number of sends.
+        """
+        sender = self.nodes.get(src)
+        if sender is None or not sender.alive:
+            return 0
+        # Validate + snapshot before any scheduling so a bad destination
+        # cannot leave half a fan-out in flight but unaccounted (and a
+        # caller mutating its list afterwards cannot reach the heap).
+        targets = list(dsts)
+        if not targets:
+            return 0
+        if src in targets:
+            raise SimulationError(f"node {src} attempted to message itself")
+        size = msg.size_bytes()
+        sim = self.sim
+        if self._fast_delivery:
+            uniform = self.latency.uniform_delay
+            if uniform is not None:
+                # Every recipient sees the same arrival time: the whole
+                # fan-out rides one heap event (delivery order within the
+                # timestamp matches the per-peer FIFO order it replaces).
+                sim.call_at(sim.now + uniform, self._deliver_fan, src, targets, msg, size)
+            else:
+                now = sim.now
+                sample = self.latency.sample
+                call_at = sim.call_at
+                deliver = self._deliver_fast
+                for dst in targets:
+                    call_at(now + sample(src, dst), deliver, src, dst, msg, size)
         else:
-            tx_done = now
-        arrival = tx_done + self.latency.sample(src, dst)
-        self.sim.schedule_at(arrival, self._deliver, src, dst, msg, size)
+            for dst in targets:
+                tx_done = self._enqueue_tx(src, size)
+                sim.call_at(tx_done + self.latency.sample(src, dst), self._deliver, src, dst, msg, size)
+        self.metrics.account_send_many(src, msg.kind, size, len(targets))
+        return len(targets)
+
+    def _deliver_fast(self, src: NodeId, dst: NodeId, msg: Message, size: int) -> None:
+        """Fused delivery for zero-occupancy models: one node lookup, no
+        receive-queue event."""
+        node = self.nodes.get(dst)
+        if node is None or not node.alive:
+            self._drop(src, dst)
+            return
+        self.metrics.account_receive(dst, size)
+        node.handle_message(src, msg)
+
+    def _deliver_fan(self, src: NodeId, dsts: list[NodeId], msg: Message, size: int) -> None:
+        """One event delivering a whole same-arrival fan-out."""
+        nodes = self.nodes
+        account = self.metrics.account_receive
+        for dst in dsts:
+            node = nodes.get(dst)
+            if node is None or not node.alive:
+                self._drop(src, dst)
+                continue
+            account(dst, size)
+            node.handle_message(src, msg)
 
     def _deliver(self, src: NodeId, dst: NodeId, msg: Message, size: int) -> None:
         node = self.nodes.get(dst)
         if node is None or not node.alive:
-            # TCP reset: a sender holding an open connection learns of the
-            # failure through the regular detection path.
-            if self.linked(src, dst) or self.linked(dst, src):
-                self._unlink(src, dst)
-                self._schedule_failure_notice(src, dst)
+            self._drop(src, dst)
             return
         rx_cost = self.latency.rx_cost(dst, size)
         if rx_cost > 0.0:
             now = self.sim.now
             ready = max(now, self._busy.get(dst, now)) + rx_cost
             self._busy[dst] = ready
-            self.sim.schedule_at(ready, self._process, src, dst, msg, size)
+            self.sim.call_at(ready, self._process, src, dst, msg, size)
         else:
             self._process(src, dst, msg, size)
 
     def _process(self, src: NodeId, dst: NodeId, msg: Message, size: int) -> None:
         node = self.nodes.get(dst)
         if node is None or not node.alive:
+            # Crashed while the message sat in its receive queue.
+            self.metrics.incr("dropped")
             return
         self.metrics.account_receive(dst, size)
         node.handle_message(src, msg)
+
+    def _drop(self, src: NodeId, dst: NodeId) -> None:
+        """A message reached a dead endpoint: count it and emulate the
+        TCP reset — a sender holding an open connection learns of the
+        failure through the regular detection path."""
+        self.metrics.incr("dropped")
+        if self.linked(src, dst) or self.linked(dst, src):
+            self._unlink(src, dst)
+            self._schedule_failure_notice(src, dst)
 
     # ------------------------------------------------------------------
     # Measurements available to protocol logic
@@ -218,18 +348,24 @@ class Network:
 
         Each registered link carries one probe + one ack per keep-alive
         period in each direction.  This is accounted analytically instead
-        of being simulated per-packet (it changes no protocol decision).
+        of being simulated per-packet (it changes no protocol decision):
+        the per-link byte rate is precomputed once per phase and the walk
+        touches exactly the live links — ``self.links`` holds no dead
+        nodes and no empty peer sets by construction.
         """
         if duration <= 0:
             return
-        probes = duration / self.keepalive_period
-        per_link_bytes = int(round(probes * ka_bytes))
+        # Precomputed per-phase rate: bytes per link for the whole phase.
+        per_link_bytes = int(round(duration / self.keepalive_period * ka_bytes))
+        if per_link_bytes <= 0:
+            return
+        account = self.metrics.account_overhead
+        nodes = self.nodes
         for node_id, peers in self.links.items():
-            if not self.alive(node_id):
+            # Links to a node that died without crash() being observed yet
+            # (stale handshake races) must not charge the dead endpoint.
+            node = nodes.get(node_id)
+            if node is None or not node.alive:
                 continue
             n = len(peers)
-            if n == 0:
-                continue
-            self.metrics.account_overhead(
-                node_id, phase, sent=per_link_bytes * n, received=per_link_bytes * n
-            )
+            account(node_id, phase, sent=per_link_bytes * n, received=per_link_bytes * n)

@@ -52,6 +52,10 @@ class ProtocolNode:
     def send(self, dst: NodeId, msg: Message) -> None:
         self.network.send(self.node_id, dst, msg)
 
+    def send_many(self, dsts, msg: Message) -> int:
+        """Fan one (immutable) message out to several peers in one call."""
+        return self.network.send_many(self.node_id, dsts, msg)
+
     def handle_message(self, src: NodeId, msg: Message) -> None:
         if not self.alive:
             return

@@ -31,6 +31,37 @@ def test_quickstart_command(capsys):
     assert "delivered" in out
 
 
+def test_scale_command_runs_and_writes_json(capsys, tmp_path):
+    out = tmp_path / "bench.json"
+    assert main([
+        "scale", "--nodes", "64", "--messages", "5",
+        "--no-microbench", "--json", str(out),
+    ]) == 0
+    printed = capsys.readouterr().out
+    assert "Scale flood" in printed and "delivered: 100.00%" in printed
+    import json
+
+    data = json.loads(out.read_text())
+    assert data["scale_run"]["nodes"] == 64
+    assert data["scale_run"]["delivered_fraction"] == 1.0
+    assert "microbench" not in data
+
+
+def test_scale_command_rejects_degenerate_input(capsys):
+    assert main(["scale", "--nodes", "64", "--messages", "0", "--no-microbench"]) == 2
+    assert "error:" in capsys.readouterr().err
+    assert main(["scale", "--scale", "bogus", "--no-microbench"]) == 2
+    assert "unknown scale" in capsys.readouterr().err
+    assert main(["scale", "--nodes", "64", "--rate", "0", "--no-microbench"]) == 2
+    assert "rate" in capsys.readouterr().err
+
+
+def test_scale_command_uses_scale_population(capsys):
+    assert main(["scale", "--scale", "tiny", "--messages", "3", "--no-microbench"]) == 0
+    printed = capsys.readouterr().out
+    assert "nodes: 32" in printed  # tiny.cluster_nodes
+
+
 def test_unknown_experiment_rejected():
     with pytest.raises(SystemExit):
         make_parser().parse_args(["run", "fig99"])

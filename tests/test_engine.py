@@ -145,6 +145,159 @@ def test_events_processed_counter():
     assert sim.events_processed == 4
 
 
+def test_max_events_break_does_not_move_clock_backwards():
+    """Regression: ``run(until=T, max_events=N)`` used to advance ``now``
+    to ``T`` even when live events before ``T`` remained, so the next
+    ``run()`` moved virtual time backwards."""
+    sim = Simulator()
+    seen = []
+    for i in range(5):
+        sim.schedule(float(i + 1), lambda: seen.append(sim.now))
+    sim.run(until=10.0, max_events=2)
+    # Two events processed; three more pend before the until bound, so the
+    # clock must sit at the last processed event, not at 10.0.
+    assert seen == [1.0, 2.0]
+    assert sim.now == 2.0
+    sim.run(until=10.0)
+    assert seen == [1.0, 2.0, 3.0, 4.0, 5.0]
+    # Virtual time is monotone across the two runs.
+    assert all(a <= b for a, b in zip(seen, seen[1:]))
+    assert sim.now == 10.0
+
+
+def test_max_events_break_past_until_still_advances_clock():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, 1)
+    sim.schedule(5.0, fired.append, 5)
+    # The cap is not hit before the until bound: remaining events all lie
+    # beyond it, so advancing to ``until`` is safe and expected.
+    sim.run(until=2.0, max_events=10)
+    assert fired == [1]
+    assert sim.now == 2.0
+
+
+def test_until_not_advanced_when_cancelled_events_hide_live_one():
+    sim = Simulator()
+    fired = []
+    h = sim.schedule(1.0, fired.append, "cancelled")
+    sim.schedule(1.5, fired.append, "live")
+    h.cancel()
+    sim.run(until=3.0, max_events=0)
+    # No events processed; the live 1.5 s event forbids jumping to 3.0.
+    assert sim.now == 0.0
+    sim.run(until=3.0)
+    assert fired == ["live"]
+    assert sim.now == 3.0
+
+
+class TestFastTier:
+    """call_later/call_at: fire-and-forget events on pooled handles."""
+
+    def test_call_later_runs_in_order_with_scheduled_events(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(2.0, order.append, "handle")
+        sim.call_later(1.0, order.append, "pooled-early")
+        sim.call_later(3.0, order.append, "pooled-late")
+        sim.run()
+        assert order == ["pooled-early", "handle", "pooled-late"]
+
+    def test_call_later_in_past_raises(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.call_later(-0.5, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.call_at(0.5, lambda: None)
+
+    def test_handles_are_recycled_through_the_free_list(self):
+        sim = Simulator()
+        hops = []
+
+        def hop(n):
+            hops.append(n)
+            if n > 0:
+                sim.call_later(1.0, hop, n - 1)
+
+        sim.call_later(0.0, hop, 99)
+        sim.run()
+        assert len(hops) == 100
+        # A sequential chain keeps exactly one handle in flight: the slab
+        # never grows past it, proving events reuse the freed entry.
+        assert sim.pool_size == 1
+
+    def test_pool_high_water_tracks_concurrent_events(self):
+        sim = Simulator()
+        for i in range(50):
+            sim.call_later(1.0 + i * 0.001, lambda: None)
+        sim.run()
+        assert sim.pool_size == 50
+        # The next burst draws from the pool instead of allocating.
+        for i in range(50):
+            sim.call_later(1.0 + i * 0.001, lambda: None)
+        assert sim.pool_size == 0
+        sim.run()
+        assert sim.pool_size == 50
+
+    def test_peak_pending_records_backlog_high_water(self):
+        sim = Simulator()
+        for i in range(10):
+            sim.schedule(float(i + 1), lambda: None)
+        assert sim.peak_pending == 10
+        sim.run()
+        assert sim.peak_pending == 10
+
+
+class TestRunUntilIdle:
+    def test_drains_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(3.0, order.append, "c")
+        sim.call_later(1.0, order.append, "a")
+        sim.schedule(2.0, order.append, "b")
+        assert sim.run_until_idle() == 3
+        assert order == ["a", "b", "c"]
+        assert sim.now == 3.0
+
+    def test_honours_stop(self):
+        sim = Simulator()
+        fired = []
+        sim.call_later(1.0, fired.append, 1)
+        sim.schedule(2.0, sim.stop)
+        sim.call_later(3.0, fired.append, 3)
+        sim.run_until_idle()
+        assert fired == [1]
+        assert sim.pending >= 1
+
+    def test_skips_cancelled_handles(self):
+        sim = Simulator()
+        fired = []
+        h = sim.schedule(1.0, fired.append, "x")
+        h.cancel()
+        sim.call_later(2.0, fired.append, "y")
+        sim.run_until_idle()
+        assert fired == ["y"]
+
+    def test_not_reentrant(self):
+        sim = Simulator()
+
+        def reenter():
+            with pytest.raises(SimulationError):
+                sim.run_until_idle()
+
+        sim.call_later(1.0, reenter)
+        sim.run_until_idle()
+
+    def test_counts_events_processed(self):
+        sim = Simulator()
+        for i in range(4):
+            sim.call_later(float(i), lambda: None)
+        sim.run_until_idle()
+        assert sim.events_processed == 4
+
+
 def test_rng_streams_are_deterministic_and_independent():
     a1 = Simulator(seed=7).rng("x").random()
     a2 = Simulator(seed=7).rng("x").random()
@@ -213,3 +366,50 @@ class TestPeriodicTask:
             PeriodicTask(sim, 0.0, lambda: None)
         with pytest.raises(SimulationError):
             PeriodicTask(sim, 1.0, lambda: None, jitter=1.5)
+
+    def test_restart_after_stop_reapplies_start_delay(self):
+        sim = Simulator()
+        ticks = []
+        task = PeriodicTask(sim, 5.0, lambda: ticks.append(sim.now), start_delay=0.5)
+        task.start()
+        sim.run(until=6.0)
+        assert ticks == [0.5, 5.5]
+        task.stop()
+        sim.run(until=20.0)
+        assert ticks == [0.5, 5.5]
+        # A restart behaves exactly like the first start: the start_delay
+        # override applies again, then the regular period takes over.
+        task.start()
+        assert task.running
+        sim.run(until=26.5)
+        assert ticks == [0.5, 5.5, 20.5, 25.5]
+
+    def test_stop_inside_fn_cancels_reschedule_and_allows_restart(self):
+        sim = Simulator()
+        ticks = []
+        task = PeriodicTask(sim, 1.0, lambda: (ticks.append(sim.now), task.stop()))
+        task.start()
+        sim.run(until=10.0)
+        # stop() from inside fn() during _fire: exactly one firing, no
+        # pending handle left behind.
+        assert ticks == [1.0]
+        assert not task.running
+        assert task._handle is None
+        task.start()
+        sim.run(until=20.0)
+        assert ticks == [1.0, 11.0]
+        assert not task.running
+
+    def test_stop_before_first_firing_cancels_cleanly(self):
+        sim = Simulator()
+        ticks = []
+        task = PeriodicTask(sim, 1.0, lambda: ticks.append(sim.now), start_delay=5.0)
+        task.start()
+        sim.run(until=2.0)
+        task.stop()
+        sim.run(until=10.0)
+        assert ticks == []
+        # Restarting schedules afresh from the stop point.
+        task.start()
+        sim.run(until=15.5)
+        assert ticks == [15.0]

@@ -50,6 +50,33 @@ class TestMassFailures:
         assert ok, reason
 
 
+class TestDroppedAccounting:
+    def test_in_flight_messages_to_crashed_nodes_are_counted(self):
+        """Messages racing a crash used to vanish silently; the TCP-reset
+        path in ``Network._deliver`` now counts them under ``dropped``.
+        Parents keep pushing to a dead child until failure detection
+        kicks in (~1 keep-alive period), so a mid-stream mass failure
+        must always produce drops."""
+        bed = build_brisa_testbed(48, seed=86)
+        source = bed.choose_source()
+        bed.start_stream(source, StreamConfig(count=400, rate=10.0, payload_bytes=64))
+        bed.sim.run(until=bed.sim.now + 4.0)
+        assert bed.metrics.counters.get("dropped", 0) == 0
+        rng = bed.sim.rng("drop-kill")
+        for v in rng.sample([n for n in bed.alive_nodes() if n is not source], 12):
+            bed.network.crash(v.node_id)
+        bed.sim.run(until=bed.sim.now + 30.0)
+        dropped = bed.metrics.counters["dropped"]
+        assert dropped > 0
+        # Drops stay bounded by the detection window: they stop once the
+        # failure detector has fired everywhere, well below the total
+        # message volume the survivors exchanged.
+        total_msgs = sum(
+            sum(per_phase.values()) for per_phase in bed.metrics.msg_counts.values()
+        )
+        assert dropped < total_msgs * 0.2
+
+
 class TestJoinStorm:
     def test_burst_of_joiners_mid_stream(self):
         bed = build_brisa_testbed(32, seed=83)

@@ -172,3 +172,192 @@ def test_dead_nodes_send_no_keepalives():
     net.crash(a.node_id)
     net.account_keepalives(DISSEMINATION, duration=10.0)
     assert net.metrics.bytes_sent.get(a.node_id, {}).get(DISSEMINATION, 0) == 0
+
+
+# ----------------------------------------------------------------------
+# Fan-out sends (send_many)
+# ----------------------------------------------------------------------
+class TestSendMany:
+    def test_delivers_to_every_destination(self):
+        sim, net, (a, b, c, d) = make_network(4, delay=0.01)
+        sent = net.send_many(a.node_id, [b.node_id, c.node_id, d.node_id], Ping(5))
+        assert sent == 3
+        sim.run()
+        for node in (b, c, d):
+            assert len(node.received) == 1
+            t, src, msg = node.received[0]
+            assert t == pytest.approx(0.01)
+            assert src == a.node_id
+            assert msg.payload == 5
+
+    def test_accounting_matches_per_send_loop(self):
+        sim, net, (a, b, c) = make_network(3)
+        net.send_many(a.node_id, [b.node_id, c.node_id], Ping())
+        sim.run()
+        size = Ping().size_bytes()
+        assert net.metrics.bytes_sent[a.node_id]["stabilization"] == 2 * size
+        assert net.metrics.bytes_received[b.node_id]["stabilization"] == size
+        assert net.metrics.bytes_received[c.node_id]["stabilization"] == size
+        assert net.metrics.msg_counts["ping"]["stabilization"] == 2
+
+    def test_self_destination_rejected(self):
+        sim, net, (a, b) = make_network(2)
+        with pytest.raises(SimulationError):
+            net.send_many(a.node_id, [b.node_id, a.node_id], Ping())
+
+    def test_self_destination_rejected_before_any_side_effect(self):
+        """A bad destination anywhere in the fan-out must abort the whole
+        batch: nothing scheduled, nothing accounted, no occupancy taken."""
+        from repro.sim.engine import Simulator
+        from repro.sim.latency import ClusterLatency
+        from repro.sim.monitor import Metrics
+        from repro.sim.network import Network
+
+        sim = Simulator(seed=2)
+        net = Network(sim, ClusterLatency(seed=2), Metrics())
+        a, b = net.spawn(RecorderNode), net.spawn(RecorderNode)
+        with pytest.raises(SimulationError):
+            net.send_many(a.node_id, [b.node_id, a.node_id], Ping())
+        assert sim.pending == 0
+        assert net._busy == {}
+        assert net.metrics.msg_counts.get("ping", {}) in ({}, {"stabilization": 0})
+        sim.run()
+        assert b.received == []
+
+    def test_dead_sender_sends_nothing(self):
+        sim, net, (a, b) = make_network(2)
+        net.crash(a.node_id)
+        assert net.send_many(a.node_id, [b.node_id], Ping()) == 0
+        sim.run()
+        assert b.received == []
+
+    def test_empty_fanout_is_noop(self):
+        sim, net, (a,) = make_network(1)
+        assert net.send_many(a.node_id, [], Ping()) == 0
+        assert net.metrics.msg_counts.get("ping", {}) in ({}, {"stabilization": 0})
+
+    def test_dead_destination_mid_fanout_is_dropped_not_fatal(self):
+        sim, net, (a, b, c) = make_network(3)
+        net.send_many(a.node_id, [b.node_id, c.node_id], Ping())
+        net.crash(b.node_id)
+        sim.run()
+        assert b.received == []
+        assert len(c.received) == 1
+        assert net.metrics.counters["dropped"] == 1
+
+
+# ----------------------------------------------------------------------
+# Dropped-message accounting
+# ----------------------------------------------------------------------
+def test_message_to_crashed_node_counts_dropped():
+    sim, net, (a, b) = make_network(2)
+    net.send(a.node_id, b.node_id, Ping())
+    net.crash(b.node_id)
+    sim.run()
+    assert net.metrics.counters["dropped"] == 1
+
+
+def test_delivered_messages_are_not_counted_dropped():
+    sim, net, (a, b) = make_network(2)
+    net.send(a.node_id, b.node_id, Ping())
+    sim.run()
+    assert net.metrics.counters.get("dropped", 0) == 0
+
+
+# ----------------------------------------------------------------------
+# Crash-time state purging (long-churn memory bounds)
+# ----------------------------------------------------------------------
+class TestCrashPurgesState:
+    def test_busy_and_capacity_entries_are_purged(self):
+        from repro.sim.engine import Simulator
+        from repro.sim.latency import ClusterLatency
+        from repro.sim.monitor import Metrics
+        from repro.sim.network import Network
+
+        sim = Simulator(seed=1)
+        net = Network(sim, ClusterLatency(seed=1), Metrics())
+        a, b = net.spawn(RecorderNode), net.spawn(RecorderNode)
+        net.capacity(a.node_id)  # materialize the lognormal draw
+        net.send(a.node_id, b.node_id, Ping())  # occupies a's NIC queue
+        assert a.node_id in net._busy
+        assert a.node_id in net._capacities
+        net.crash(a.node_id)
+        assert a.node_id not in net._busy
+        assert a.node_id not in net._capacities
+
+    def test_notified_entries_drain_once_notices_fire(self):
+        sim, net, (a, b) = make_network(2)
+        net.register_link(a.node_id, b.node_id)
+        net.crash(b.node_id)
+        assert (a.node_id, b.node_id) in net._notified
+        sim.run()
+        assert len(a.link_failures) == 1
+        assert net._notified == set()
+
+    def test_crashed_observers_pending_entries_are_purged(self):
+        sim, net, (a, b, c) = make_network(3)
+        net.register_link(a.node_id, b.node_id)
+        net.crash(b.node_id)  # pending notice for observer a
+        net.crash(a.node_id)  # a dies before its notice fires
+        assert all(obs != a.node_id for obs, _ in net._notified)
+        sim.run()
+        assert net._notified == set()
+        assert a.link_failures == []
+
+    def test_unlink_prunes_empty_peer_sets(self):
+        sim, net, (a, b) = make_network(2)
+        net.register_link(a.node_id, b.node_id)
+        net.unregister_link(a.node_id, b.node_id)
+        assert a.node_id not in net.links
+        assert b.node_id not in net.links
+
+    def test_repeated_crash_join_cycles_do_not_grow_state(self):
+        sim, net, (anchor,) = make_network(1)
+        for cycle in range(40):
+            node = net.spawn(RecorderNode)
+            net.register_link(anchor.node_id, node.node_id)
+            net.capacity(node.node_id)
+            net.send(anchor.node_id, node.node_id, Ping())
+            net.crash(node.node_id)
+            sim.run()
+        # Forty generations of churn leave no residue beyond the anchor.
+        assert net._notified == set()
+        assert net._busy == {}
+        assert set(net._capacities) <= {anchor.node_id}
+        assert all(peers for peers in net.links.values())
+        assert set(net.links) <= {anchor.node_id}
+        # Every in-flight message to a dying node was accounted.
+        assert net.metrics.counters["dropped"] == 40
+        assert net.metrics.counters["crashes"] == 40
+
+
+# ----------------------------------------------------------------------
+# Fast-path selection
+# ----------------------------------------------------------------------
+class TestFastPathSelection:
+    def test_constant_latency_is_zero_cost(self):
+        from repro.sim.latency import ClusterLatency, ConstantLatency, PlanetLabLatency
+
+        assert ConstantLatency().zero_cost()
+        assert not ClusterLatency().zero_cost()
+        assert not PlanetLabLatency().zero_cost()
+
+    def test_occupancy_model_keeps_queueing_chain(self):
+        """ClusterLatency charges tx/rx occupancy: the receive-processing
+        event must still serialize behind the receiver's queue."""
+        from repro.sim.latency import ClusterLatency
+        from repro.sim.engine import Simulator
+        from repro.sim.monitor import Metrics
+        from repro.sim.network import Network
+
+        sim = Simulator(seed=5)
+        net = Network(sim, ClusterLatency(seed=5), Metrics())
+        assert not net._fast_delivery
+        a, b = net.spawn(RecorderNode), net.spawn(RecorderNode)
+        net.send(a.node_id, b.node_id, Ping())
+        net.send(a.node_id, b.node_id, Ping())
+        sim.run()
+        assert len(b.received) == 2
+        t1, t2 = b.received[0][0], b.received[1][0]
+        # Second message waits at least one rx_cost behind the first.
+        assert t2 >= t1 + net.latency.rx_cost(b.node_id, Ping().size_bytes())
