@@ -7,6 +7,7 @@ Commands mirror the per-experiment index of DESIGN.md §4::
     python -m repro run all --scale fast     # every artifact
     python -m repro quickstart               # the README quickstart
     python -m repro scale --scale xl         # 10k-node flood benchmark
+    python -m repro scale --stack brisa --size xl   # full BRISA stack at 10k
 """
 
 from __future__ import annotations
@@ -16,6 +17,7 @@ import json
 import sys
 from typing import Callable
 
+from repro.errors import SimulationError
 from repro.experiments import report as rp
 from repro.experiments import scenarios as sc
 from repro.sim.monitor import DISSEMINATION, STABILIZATION
@@ -138,15 +140,25 @@ def make_parser() -> argparse.ArgumentParser:
     run.add_argument("--scale", default=None, help="tiny | fast | paper | large | xl")
     sub.add_parser("quickstart", help="run the README quickstart")
     sc_cmd = sub.add_parser(
-        "scale", help="large-scale flood benchmark (see DESIGN.md §6)"
+        "scale", help="large-scale dissemination benchmark (see DESIGN.md §6–7)"
     )
-    sc_cmd.add_argument("--scale", default="large", help="tiny | fast | paper | large | xl")
+    sc_cmd.add_argument("--scale", "--size", dest="scale", default="large",
+                        help="tiny | fast | paper | large | xl")
+    sc_cmd.add_argument("--stack", choices=["flood", "brisa"], default="flood",
+                        help="protocol stack: flood baseline or the full BRISA stack")
     sc_cmd.add_argument("--nodes", type=int, default=None,
                         help="override the population (default: scale's cluster_nodes)")
     sc_cmd.add_argument("--messages", type=int, default=20,
                         help="stream length (default 20)")
-    sc_cmd.add_argument("--degree", type=int, default=5, help="overlay degree")
+    sc_cmd.add_argument("--degree", type=int, default=None,
+                        help="overlay degree (default: 5 for flood, settled-ramp "
+                             "degree for brisa)")
     sc_cmd.add_argument("--rate", type=float, default=20.0, help="injection rate (msgs/s)")
+    sc_cmd.add_argument("--mode", choices=["tree", "dag"], default=None,
+                        help="BRISA structure mode (brisa stack only; default tree)")
+    sc_cmd.add_argument("--bootstrap", default=None, metavar="KIND",
+                        help="brisa stack only: synthesized (default) | simulated | "
+                             "path to an overlay checkpoint")
     sc_cmd.add_argument("--seed", type=int, default=1)
     sc_cmd.add_argument("--json", dest="json_path", default=None, metavar="FILE",
                         help="also write the results as JSON")
@@ -156,16 +168,39 @@ def make_parser() -> argparse.ArgumentParser:
 
 
 def _run_scale(args) -> int:
+    if args.stack != "brisa":
+        # A forgotten --stack brisa must not silently benchmark the flood
+        # stack while ignoring the BRISA-only knobs the user set.
+        for flag, value in (("--mode", args.mode), ("--bootstrap", args.bootstrap)):
+            if value is not None:
+                print(
+                    f"error: {flag} applies to the brisa stack only "
+                    f"(add --stack brisa)",
+                    file=sys.stderr,
+                )
+                return 2
     try:
         scale = sc.get_scale(args.scale)
         nodes = args.nodes if args.nodes is not None else scale.cluster_nodes
-        result = sc.run_scale_flood(
-            nodes, args.messages, degree=args.degree, rate=args.rate, seed=args.seed
-        )
-    except ValueError as exc:
+        if args.stack == "brisa":
+            result = sc.run_scale_brisa(
+                nodes, args.messages,
+                mode=args.mode if args.mode is not None else "tree",
+                degree=args.degree,
+                rate=args.rate, seed=args.seed,
+                bootstrap=args.bootstrap if args.bootstrap is not None else "synthesized",
+                join_spacing=scale.join_spacing, settle=scale.settle,
+            )
+        else:
+            result = sc.run_scale_flood(
+                nodes, args.messages,
+                degree=args.degree if args.degree is not None else 5,
+                rate=args.rate, seed=args.seed,
+            )
+    except (ValueError, SimulationError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    print(rp.banner(f"Scale flood — {nodes} nodes ({args.scale})"))
+    print(rp.banner(f"Scale {args.stack} — {nodes} nodes ({args.scale})"))
     print(result.summary())
     payload = {"scale_run": result.to_dict()}
     if not args.no_microbench:

@@ -69,6 +69,14 @@ class BrisaNode(HyParViewNode):
             self.streams[stream] = state
         return state
 
+    # NOTE on synthesized bootstrap (§II-C consistency): HyParViewNode.
+    # install_overlay fires neighbor_up per installed peer, which runs
+    # this class's hook below — every stream sees installed neighbours
+    # exactly as live joins would have presented them (inbound links
+    # start active, predictor position stays None = "fresh, anything
+    # eligible"), so the bootstrap flood and emergence run unchanged
+    # over synthesized overlays.
+
     def parents_of(self, stream: StreamId = 0) -> list[NodeId]:
         return list(self.stream_state(stream).parents)
 
@@ -240,18 +248,31 @@ class BrisaNode(HyParViewNode):
             self._remove_parent(state, worst_peer, deactivate=True)
             self._adopt_parent(state, src, meta)
         else:
+            if first:
+                # A *first* reception from a non-parent is data the
+                # current parents did not deliver — the provider is ahead
+                # of them (e.g. they sit above a severed subtree after a
+                # crash, §II-F).  Link deactivation is a duplicate-
+                # triggered decision (Fig. 3): keep the live feed; the
+                # moment a parent actually resumes service this provider
+                # becomes a duplicate source and is pruned normally.
+                return
             self._deactivate_link(state, src)
             if (
                 self.config.symmetric_deactivation
                 and self.strategy.supports_symmetric
                 and self.config.num_parents == 1
+                and src not in state.reactivated
             ):
                 # Symmetric optimization (§II-E, trees only): src
                 # demonstrably received this message first, so we can never
                 # become its first-come parent; stop relaying to it without
                 # spending a message.  Unsound for DAGs: src may have
                 # adopted us as a *secondary* parent even though its first
-                # reception came from elsewhere.
+                # reception came from elsewhere.  Also unsound once src
+                # explicitly Activated our link (repair adoption, §II-F):
+                # adoption by necessity is not first-come order, and the
+                # silent mute would sever src's subtree for good.
                 state.out_deactivated.add(src)
 
     def _arrival_of(self, state: StreamState, peer: NodeId) -> float:
@@ -310,6 +331,10 @@ class BrisaNode(HyParViewNode):
             # Adopting an equal-depth parent moved us down (§II-G):
             # "immediately updates its downstream children accordingly".
             self._broadcast_depth(state)
+        elif self.predictor.name == "bloom" and state.position != old_position:
+            # The grown ancestor filter must reach children promptly for
+            # concurrent-adoption cycles to surface (see _maintain_parent).
+            self._broadcast_bloom(state)
         self._check_settled(state)
         if state.repairing:
             self._finish_repair(state)
@@ -382,6 +407,28 @@ class BrisaNode(HyParViewNode):
             # Track our own position from the freshest parent path.
             state.position = self.predictor.adopt(self.node_id, meta)
             state.hops = len(state.position) - 1
+        elif self.predictor.name == "bloom":
+            # Refresh the ancestor filter from the freshest parent metas.
+            # A filter frozen at adoption time can never circulate the
+            # evidence of a concurrently-formed cycle: every member's
+            # filter predates the loop closing, so check_parent stays
+            # silent forever.  Folding each parent's *current* filter in
+            # — and pushing growth to children (the Bloom counterpart of
+            # _broadcast_depth) — lets the union circulate a loop until
+            # some member sees its own bits and breaks it (§II-G safety:
+            # cycles must never survive).  Growth is monotone and
+            # bit-bounded, so the cascade reaches a fixpoint even after
+            # the stream has drained.
+            combined = state.position
+            for parent_meta in state.parent_meta.values():
+                if parent_meta is None:
+                    continue
+                combined = parent_meta if combined is None else combined | parent_meta
+            if combined is not None:
+                new_position = self.predictor.adopt(self.node_id, combined)
+                if new_position != state.position:
+                    state.position = new_position
+                    self._broadcast_bloom(state)
 
     def _demote(self, state: StreamState, new_depth: int) -> None:
         if state.position is not None and new_depth <= state.position:
@@ -405,6 +452,20 @@ class BrisaNode(HyParViewNode):
         if src in state.parents:
             state.parent_meta[src] = msg.depth
             self._maintain_parent(state, src, msg.depth)
+
+    def _broadcast_bloom(self, state: StreamState) -> None:
+        """Push the grown ancestor filter to every neighbour still linked
+        to us (the Bloom counterpart of :meth:`_broadcast_depth`)."""
+        update = bm.BloomUpdate(state.stream, state.position, self.config.bloom_bits)
+        for peer in self.active:
+            if peer not in state.out_deactivated:
+                self.send(peer, update)
+
+    def on_brisa_bloom_update(self, src: NodeId, msg: bm.BloomUpdate) -> None:
+        state = self.stream_state(msg.stream)
+        if src in state.parents:
+            state.parent_meta[src] = msg.bloom
+            self._maintain_parent(state, src, msg.bloom)
 
     # ------------------------------------------------------------------
     # Link (de)activation
@@ -434,11 +495,23 @@ class BrisaNode(HyParViewNode):
     def on_brisa_deactivate(self, src: NodeId, msg: bm.Deactivate) -> None:
         state = self.stream_state(msg.stream)
         state.out_deactivated.add(src)
+        # An explicit Deactivate re-arms the symmetric inference for src.
+        state.reactivated.discard(src)
 
     def on_brisa_activate(self, src: NodeId, msg: bm.Activate) -> None:
         state = self.stream_state(msg.stream)
         state.out_deactivated.discard(src)
+        state.reactivated.add(src)
         if msg.adopt:
+            if state.repairing and state.repair_pending == src and self.node_id > src:
+                # Crossing adopt requests: both sides are mid-repair
+                # toward each other, and both Acks would carry
+                # pre-adoption positions — committing a mutual parent
+                # pair, a 2-cycle that a stream with no traffic left can
+                # never detect.  Deterministic tie-break: the higher id
+                # abandons its own request and serves the lower as child.
+                state.repair_pending = None
+                self._repair_next(state)
             fields = (
                 self.predictor.message_fields(state.position)
                 if state.position is not None
@@ -459,6 +532,7 @@ class BrisaNode(HyParViewNode):
         for state in self.streams.values():
             state.in_active.pop(peer, None)
             state.out_deactivated.discard(peer)
+            state.reactivated.discard(peer)
             state.candidates.pop(peer, None)
             if state.repair_pending == peer:
                 state.repair_pending = None
@@ -575,7 +649,13 @@ class BrisaNode(HyParViewNode):
         if meta is not None and self.predictor.eligible(self.node_id, state.position, meta):
             self._adopt_parent(state, src, meta)
         else:
-            self._deactivate_link(state, src)
+            # Same rule as _consider_provider: with zero parents the link
+            # stays active as fallback flow.  Mid-storm positions are
+            # transitional (an old subtree's paths still embed us); an
+            # orphan that pruned every such neighbour would mute all its
+            # inbound links and stay dark forever.
+            if state.parents:
+                self._deactivate_link(state, src)
             self._repair_next(state)
 
     def _finish_repair(self, state: StreamState) -> None:

@@ -172,6 +172,29 @@ class DepthUpdate(Message):
         return STREAM_BYTES + DEPTH_BYTES
 
 
+class BloomUpdate(Message):
+    """Bloom ancestor-filter change pushed to downstream children.
+
+    The Bloom predictor's counterpart of :class:`DepthUpdate`: a filter
+    frozen at adoption time can never circulate the evidence of a
+    concurrently-formed cycle, so filter *growth* is pushed down and
+    folded into children's filters until the (monotone, bit-bounded)
+    union reaches a fixpoint — around a cycle, until some member sees
+    its own bits and breaks it.
+    """
+
+    kind = "brisa_bloom_update"
+    __slots__ = ("stream", "bloom", "bloom_bits")
+
+    def __init__(self, stream: StreamId, bloom: int, bloom_bits: int = 1024) -> None:
+        self.stream = stream
+        self.bloom = bloom
+        self.bloom_bits = bloom_bits
+
+    def body_bytes(self) -> int:
+        return STREAM_BYTES + self.bloom_bits // 8
+
+
 class RetransmitRequest(Message):
     """Ask a (new) parent for everything past ``have_up_to`` (§II-F)."""
 

@@ -37,6 +37,13 @@ class StreamState:
     parent_meta: dict[NodeId, Any] = field(default_factory=dict)
     in_active: dict[NodeId, bool] = field(default_factory=dict)
     out_deactivated: set[NodeId] = field(default_factory=set)
+    #: Peers that *explicitly* re-activated our outbound link (Activate,
+    #: §II-F) since their last Deactivate.  The symmetric-deactivation
+    #: inference of §II-E ("src received this first, we can never be its
+    #: first-come parent") must not silently re-mute these: a repair
+    #: adoption is not governed by first-come order, and muting a peer
+    #: that considers us its parent severs it permanently.
+    reactivated: set[NodeId] = field(default_factory=set)
     #: First-arrival candidate info per neighbour (duplicates observed).
     candidates: dict[NodeId, Candidate] = field(default_factory=dict)
 

@@ -1,0 +1,329 @@
+"""Synthesized-overlay bootstrap: HyParView-convergent topologies in O(n).
+
+Simulating the join ramp costs hundreds of thousands of simulator events
+at 2k nodes and dominates every large-population scenario (ROADMAP: "the
+join ramp is now the scale bottleneck").  But the ramp's *outcome* is
+statistically simple: a settled HyParView overlay is a connected,
+bidirectional random graph whose degrees sit between ``active_size`` and
+the expanded cap ``active_size * expansion_factor``, with full passive
+views (§II-A).  This module synthesizes that converged state directly —
+a Hamiltonian ring (connectivity guarantee) plus random chords up to the
+empirical settled degree, capped per node at ``max_active`` — and wires
+it into node state through :meth:`HyParViewNode.install_overlay` without
+a single simulated message.
+
+Three entry points:
+
+- :func:`synthesize_overlay` — build + install a fresh topology over
+  already-spawned nodes (any :class:`HyParViewNode` stack, including
+  :class:`BrisaNode`, whose §II-C stream-state consistency rides the
+  ``neighbor_up`` notifications that ``install_overlay`` fires).
+- :func:`save_overlay` / :func:`load_overlay` / :func:`install_checkpoint`
+  — JSON checkpoints of active/passive views, so repeated benchmark runs
+  skip construction entirely.  Checkpoints store node ids and are
+  rehydrated through an id map, robust to fresh testbeds allocating
+  different ids.
+- :func:`audit_overlay` / :func:`assert_valid_overlay` — the validation
+  mode: checks the invariants under which a synthesized overlay is
+  indistinguishable from a settled simulated one (bidirectionality,
+  connectivity, degree bounds).  Degree-distribution closeness between
+  the two bootstrap kinds is asserted in tests/test_bootstrap.py.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass
+
+from repro.config import HyParViewConfig
+from repro.errors import SimulationError
+from repro.ids import NodeId
+from repro.membership.hyparview import HyParViewNode
+
+#: Version tag of the checkpoint JSON format.
+CHECKPOINT_FORMAT = "brisa-overlay/1"
+
+
+# ----------------------------------------------------------------------
+# Topology synthesis
+# ----------------------------------------------------------------------
+def default_degree(hpv: HyParViewConfig) -> int:
+    """Target mean degree of a synthesized overlay.
+
+    Empirically a settled simulated ramp converges just under the
+    expanded cap (mean ~7.0 for the paper's active_size=4, factor=2
+    defaults, cap 8): joins grow views up to ``max_active`` and evictions
+    between target and cap trigger no replacements, so views drift high.
+    """
+    return max(2, hpv.max_active - 1)
+
+
+def synthesize_topology(
+    n: int, *, degree: int, max_degree: int, rng
+) -> list[set[int]]:
+    """Ring + random chords adjacency (indices ``0..n-1``).
+
+    The ring guarantees connectivity; chords are added uniformly at
+    random up to a mean degree of ``degree``, never pushing any node past
+    ``max_degree`` (HyParView's expanded active-view cap).  O(n * degree)
+    expected time.
+    """
+    if n < 3:
+        raise ValueError("need at least 3 nodes for a ring overlay")
+    if degree < 2:
+        raise ValueError("degree must be >= 2 (ring minimum)")
+    if max_degree < degree:
+        raise ValueError("max_degree must be >= degree")
+    adj: list[set[int]] = [set() for _ in range(n)]
+    for i in range(n):
+        j = (i + 1) % n
+        adj[i].add(j)
+        adj[j].add(i)
+    edges = n  # the ring
+    target_edges = (n * degree) // 2
+    attempts = 0
+    max_attempts = 20 * max(target_edges, 1)
+    randrange = rng.randrange
+    while edges < target_edges and attempts < max_attempts:
+        attempts += 1
+        a = randrange(n)
+        b = randrange(n)
+        if a == b or b in adj[a]:
+            continue
+        if len(adj[a]) >= max_degree or len(adj[b]) >= max_degree:
+            continue
+        adj[a].add(b)
+        adj[b].add(a)
+        edges += 1
+    return adj
+
+
+def synthesize_passive(
+    n: int, adj: list[set[int]], *, size: int, rng
+) -> list[set[int]]:
+    """Random passive views (indices), excluding self and active peers.
+
+    A settled overlay has full passive views (shuffles saturate them);
+    uniformly random entries reproduce that reservoir.  Rejection
+    sampling is attempt-bounded so tiny populations (where ``size``
+    exceeds the available peers) terminate with partial views.
+    """
+    views: list[set[int]] = []
+    randrange = rng.randrange
+    for i in range(n):
+        neigh = adj[i]
+        view: set[int] = set()
+        want = min(size, max(0, n - 1 - len(neigh)))
+        attempts = 0
+        max_attempts = 8 * max(size, 1)
+        while len(view) < want and attempts < max_attempts:
+            attempts += 1
+            p = randrange(n)
+            if p == i or p in neigh or p in view:
+                continue
+            view.add(p)
+        views.append(view)
+    return views
+
+
+# ----------------------------------------------------------------------
+# Installation
+# ----------------------------------------------------------------------
+def _require_hyparview(nodes) -> None:
+    for node in nodes:
+        if not isinstance(node, HyParViewNode):
+            raise SimulationError(
+                f"synthesized bootstrap requires HyParView stacks; "
+                f"got {type(node).__name__}"
+            )
+
+
+def synthesize_overlay(nodes, network, *, rng, degree: int | None = None) -> None:
+    """Build and install a HyParView-convergent overlay over ``nodes``.
+
+    ``nodes`` are already-spawned (fresh, empty-view) HyParView-stack
+    nodes; ``rng`` drives the topology draw (derive it from the
+    simulation seed for reproducible overlays).
+    """
+    _require_hyparview(nodes)
+    n = len(nodes)
+    hpv = nodes[0].hpv_config
+    if degree is None:
+        degree = default_degree(hpv)
+    elif degree > hpv.max_active:
+        # Silently clamping would hand back a different topology than the
+        # caller asked for; make the config mismatch explicit instead.
+        raise ValueError(
+            f"degree {degree} exceeds the expanded active-view cap "
+            f"{hpv.max_active}; size HyParViewConfig.active_size/"
+            f"expansion_factor accordingly"
+        )
+    adj = synthesize_topology(n, degree=degree, max_degree=hpv.max_active, rng=rng)
+    passive = synthesize_passive(n, adj, size=hpv.passive_size, rng=rng)
+    ids = [node.node_id for node in nodes]
+    for i, node in enumerate(nodes):
+        node.install_overlay(
+            [ids[j] for j in adj[i]],
+            [ids[j] for j in passive[i]],
+            register_links=False,
+        )
+    network.register_links(
+        (ids[a], ids[b]) for a in range(n) for b in adj[a] if a < b
+    )
+
+
+# ----------------------------------------------------------------------
+# Checkpoints
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class OverlayCheckpoint:
+    """Parsed overlay checkpoint: per-node active/passive views by id."""
+
+    ids: tuple[NodeId, ...]
+    active: dict[NodeId, tuple[NodeId, ...]]
+    passive: dict[NodeId, tuple[NodeId, ...]]
+
+    @property
+    def n(self) -> int:
+        return len(self.ids)
+
+
+def save_overlay(nodes, path: "str | pathlib.Path") -> pathlib.Path:
+    """Serialize the nodes' active/passive views to a JSON checkpoint."""
+    _require_hyparview(nodes)
+    payload = {
+        "format": CHECKPOINT_FORMAT,
+        "n": len(nodes),
+        "nodes": [node.overlay_snapshot() for node in nodes],
+    }
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    return path
+
+
+def load_overlay(path: "str | pathlib.Path") -> OverlayCheckpoint:
+    """Parse a checkpoint written by :func:`save_overlay`."""
+    try:
+        payload = json.loads(pathlib.Path(path).read_text())
+    except (OSError, ValueError) as exc:
+        raise SimulationError(f"cannot read overlay checkpoint {path}: {exc}") from exc
+    if payload.get("format") != CHECKPOINT_FORMAT:
+        raise SimulationError(
+            f"unsupported overlay checkpoint format {payload.get('format')!r} "
+            f"(expected {CHECKPOINT_FORMAT!r})"
+        )
+    entries = payload.get("nodes", [])
+    if len(entries) != payload.get("n"):
+        raise SimulationError("overlay checkpoint is corrupt: node count mismatch")
+    ids = tuple(e["id"] for e in entries)
+    active = {e["id"]: tuple(e["active"]) for e in entries}
+    passive = {e["id"]: tuple(e["passive"]) for e in entries}
+    return OverlayCheckpoint(ids=ids, active=active, passive=passive)
+
+
+def install_checkpoint(nodes, network, checkpoint: OverlayCheckpoint) -> None:
+    """Rehydrate a checkpointed overlay into freshly-spawned ``nodes``.
+
+    The i-th checkpointed node maps onto the i-th fresh node; view
+    entries are translated through that map, so restored testbeds do not
+    depend on the fresh network allocating the same ids.
+    """
+    _require_hyparview(nodes)
+    if len(nodes) != checkpoint.n:
+        raise SimulationError(
+            f"checkpoint holds {checkpoint.n} nodes, testbed spawned {len(nodes)}"
+        )
+    remap = {old: node.node_id for old, node in zip(checkpoint.ids, nodes)}
+    edges: set[tuple[NodeId, NodeId]] = set()
+    for old_id, node in zip(checkpoint.ids, nodes):
+        try:
+            act = [remap[p] for p in checkpoint.active[old_id]]
+            pas = [remap[p] for p in checkpoint.passive[old_id]]
+        except KeyError as exc:
+            raise SimulationError(
+                f"overlay checkpoint references unknown node id {exc.args[0]}"
+            ) from exc
+        node.install_overlay(act, pas, register_links=False)
+        nid = node.node_id
+        for p in act:
+            edges.add((nid, p) if nid < p else (p, nid))
+    network.register_links(edges)
+
+
+# ----------------------------------------------------------------------
+# Validation
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class OverlayAudit:
+    """Invariant audit of one overlay (synthesized or simulated)."""
+
+    n: int
+    bidirectional: bool
+    connected: bool
+    min_degree: int
+    max_degree: int
+    mean_degree: float
+
+    def check(self, hpv: HyParViewConfig) -> tuple[bool, str]:
+        """Is this overlay indistinguishable (by invariant) from a
+        settled simulated one under ``hpv``?"""
+        if not self.bidirectional:
+            return False, "active views are not mutual"
+        if not self.connected:
+            return False, "overlay is not connected"
+        if self.min_degree < 2:
+            return False, f"min degree {self.min_degree} below ring minimum 2"
+        if self.max_degree > hpv.max_active:
+            return False, (
+                f"max degree {self.max_degree} exceeds expanded cap {hpv.max_active}"
+            )
+        if not hpv.active_size - 1 <= self.mean_degree <= hpv.max_active:
+            return False, (
+                f"mean degree {self.mean_degree:.2f} outside "
+                f"[{hpv.active_size - 1}, {hpv.max_active}]"
+            )
+        return True, "ok"
+
+
+def audit_overlay(nodes) -> OverlayAudit:
+    """Measure the invariants a settled HyParView overlay guarantees."""
+    _require_hyparview(nodes)
+    views = {node.node_id: node.active for node in nodes}
+    bidirectional = all(
+        nid in views.get(peer, ()) for nid, view in views.items() for peer in view
+    )
+    degrees = [len(view) for view in views.values()]
+    # BFS over active views (cheaper than building a networkx graph).
+    start = nodes[0].node_id
+    seen = {start}
+    frontier = [start]
+    while frontier:
+        nxt = []
+        for nid in frontier:
+            for peer in views.get(nid, ()):
+                if peer not in seen:
+                    seen.add(peer)
+                    nxt.append(peer)
+        frontier = nxt
+    return OverlayAudit(
+        n=len(nodes),
+        bidirectional=bidirectional,
+        connected=len(seen) == len(nodes),
+        min_degree=min(degrees) if degrees else 0,
+        max_degree=max(degrees) if degrees else 0,
+        mean_degree=sum(degrees) / len(degrees) if degrees else 0.0,
+    )
+
+
+def assert_valid_overlay(nodes, hpv: HyParViewConfig | None = None) -> OverlayAudit:
+    """Validation mode of ``Testbed.populate``: raise unless the overlay
+    satisfies every settled-ramp invariant."""
+    _require_hyparview(nodes)
+    if hpv is None:
+        hpv = nodes[0].hpv_config
+    audit = audit_overlay(nodes)
+    ok, reason = audit.check(hpv)
+    if not ok:
+        raise SimulationError(f"overlay validation failed: {reason}")
+    return audit

@@ -15,6 +15,8 @@ from typing import Callable, Optional
 
 from repro.config import BrisaConfig, HyParViewConfig, StreamConfig
 from repro.core.brisa import BrisaNode
+from repro.errors import SimulationError
+from repro.experiments import bootstrap as bootstrap_mod
 from repro.core.structure import extract_structure, is_complete_structure
 from repro.ids import NodeId, StreamId
 from repro.sim.engine import Simulator
@@ -59,24 +61,108 @@ class Testbed:
         join_spacing: float = 0.05,
         settle: float = 30.0,
         join_first: bool = False,
+        bootstrap: "str | object" = "simulated",
+        degree: Optional[int] = None,
+        validate: bool = False,
     ) -> "Testbed":
-        """Bootstrap ``n`` nodes: the first stands alone, the rest join
-        through uniformly random existing contacts, one every
-        ``join_spacing`` seconds; then run ``settle`` seconds of quiet.
+        """Bootstrap ``n`` nodes into an overlay.
+
+        ``bootstrap`` selects how (DESIGN.md §7):
+
+        - ``"simulated"`` (default) — Listing 1's join ramp: the first
+          node stands alone, the rest join through uniformly random
+          existing contacts, one every ``join_spacing`` seconds, then
+          ``settle`` seconds of quiet.  The settle deadline is relative
+          to the *current* clock, so repeated ``populate`` calls (or one
+          after a prior ``run``) settle fully instead of under-running.
+        - ``"synthesized"`` — wire a HyParView-convergent topology
+          directly into node state in O(n), no simulated joins.  Only
+          valid for HyParView stacks; ``degree`` overrides the target
+          mean degree, ``validate`` audits the result.
+        - a path (``str``/``Path`` naming a file) — rehydrate a
+          checkpoint written by :meth:`save_overlay`.
 
         ``join_first`` also runs the join procedure for the very first
         node — needed by protocols with an explicit registry (SimpleTree's
-        coordinator, TAG's tracker)."""
+        coordinator, TAG's tracker); it is incompatible with synthesized
+        bootstraps, which never touch a registry."""
         if n < 1:
             raise ValueError("need at least one node")
         self._factory = factory
-        first = self.network.spawn(factory)
-        self.nodes.append(first)
-        if join_first:
-            first.join(first.node_id)
-        for i in range(1, n):
+        if bootstrap == "simulated" and degree is not None:
+            raise ValueError(
+                "degree only applies to synthesized bootstraps; the "
+                "simulated join ramp converges on HyParViewConfig alone"
+            )
+        if bootstrap != "simulated":
+            if join_first:
+                raise ValueError(
+                    "synthesized/checkpointed bootstrap cannot run registry "
+                    "joins (join_first)"
+                )
+            return self._populate_direct(n, factory, bootstrap, degree, validate)
+        start = 0
+        if not self.nodes:
+            # Only the very first node of an *empty* testbed stands alone;
+            # later populate calls join every new node through existing
+            # contacts (a second batch's first node must not end up
+            # isolated from the overlay).
+            first = self.network.spawn(factory)
+            self.nodes.append(first)
+            if join_first:
+                first.join(first.node_id)
+            start = 1
+        for i in range(start, n):
             self.sim.schedule(i * join_spacing, self._join_one)
-        self.sim.run(until=n * join_spacing + settle)
+        self.sim.run(until=self.sim.now + n * join_spacing + settle)
+        if validate:
+            bootstrap_mod.assert_valid_overlay(self.nodes)
+        return self
+
+    def _populate_direct(
+        self,
+        n: int,
+        factory: NodeFactory,
+        bootstrap: "str | object",
+        degree: Optional[int],
+        validate: bool,
+    ) -> "Testbed":
+        """Synthesized or checkpoint-restored population (no join ramp)."""
+        checkpoint = None
+        if bootstrap != "synthesized":
+            # Load (and size-check) before spawning anything: a bad
+            # checkpoint must not leave orphan nodes with live shuffle
+            # timers registered in the network.
+            checkpoint = bootstrap_mod.load_overlay(bootstrap)
+            if checkpoint.n != n:
+                raise SimulationError(
+                    f"checkpoint holds {checkpoint.n} nodes, populate asked for {n}"
+                )
+        spawned = [self.network.spawn(factory) for _ in range(n)]
+        if checkpoint is None:
+            bootstrap_mod.synthesize_overlay(
+                spawned, self.network, rng=self.sim.rng("synth-overlay"), degree=degree
+            )
+        else:
+            bootstrap_mod.install_checkpoint(spawned, self.network, checkpoint)
+        self.nodes.extend(spawned)
+        if validate:
+            bootstrap_mod.assert_valid_overlay(spawned)
+        return self
+
+    def save_overlay(self, path) -> None:
+        """Checkpoint the current overlay (active/passive views) to JSON;
+        rehydrate with ``populate(n, factory, bootstrap=path)``."""
+        bootstrap_mod.save_overlay(self.alive_nodes(), path)
+
+    def stop_shuffles(self) -> "Testbed":
+        """Stop every node's passive-view shuffle timer.  Static-overlay
+        benchmark runs use this so a drained heap marks the exact end of
+        dissemination (there is no churn for shuffles to repair)."""
+        for node in self.nodes:
+            task = getattr(node, "_shuffle_task", None)
+            if task is not None:
+                task.stop()
         return self
 
     def _join_one(self):
@@ -233,11 +319,16 @@ def build_brisa_testbed(
     join_spacing: float = 0.05,
     settle: float = 30.0,
     record_deliveries: bool = True,
+    bootstrap: "str | object" = "simulated",
 ) -> Testbed:
     """One-call BRISA testbed used by most scenarios and tests."""
     bed = Testbed(seed=seed, latency=latency, record_deliveries=record_deliveries)
     bed.populate(
-        n, brisa_factory(config, hpv_config), join_spacing=join_spacing, settle=settle
+        n,
+        brisa_factory(config, hpv_config),
+        join_spacing=join_spacing,
+        settle=settle,
+        bootstrap=bootstrap,
     )
     return bed
 
@@ -251,6 +342,7 @@ def build_flood_testbed(
     join_spacing: float = 0.05,
     settle: float = 30.0,
     record_deliveries: bool = True,
+    bootstrap: "str | object" = "simulated",
 ) -> Testbed:
     """Pure-flooding stack over HyParView (Fig. 2 baseline)."""
     from repro.baselines.flood import FloodNode
@@ -262,6 +354,7 @@ def build_flood_testbed(
         lambda network, nid: FloodNode(network, nid, hpv),
         join_spacing=join_spacing,
         settle=settle,
+        bootstrap=bootstrap,
     )
     return bed
 

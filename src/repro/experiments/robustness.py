@@ -119,7 +119,7 @@ def table1_churn(
                 m = bed.metrics
                 lost = rate_per_minute((t for t, _ in m.parent_losses), window)
                 orphans = rate_per_minute((t for t, _ in m.orphan_events), window)
-                repairs = [r for r in m.repair_events if start <= r.time <= end]
+                repairs = [r for r in m.repair_events if start <= r.time < end]
                 soft = sum(1 for r in repairs if r.kind == "soft")
                 hard = sum(1 for r in repairs if r.kind == "hard")
                 total = soft + hard
@@ -173,7 +173,7 @@ def fig14_recovery(
         bed, source, churn_percent=churn_percent,
         duration=sc.churn_duration, period=sc.churn_period,
     )
-    repairs = [r for r in bed.metrics.repair_events if start <= r.time <= end]
+    repairs = [r for r in bed.metrics.repair_events if start <= r.time < end]
     result.hard["BRISA tree"] = CDF.of(r.duration for r in repairs if r.kind == "hard")
     result.soft["BRISA tree"] = CDF.of(r.duration for r in repairs if r.kind == "soft")
     result.hard_repair_counts["BRISA tree"] = len(result.hard["BRISA tree"])
@@ -192,7 +192,7 @@ def fig14_recovery(
         bed, root, churn_percent=churn_percent,
         duration=sc.churn_duration, period=sc.churn_period,
     )
-    repairs = [r for r in bed.metrics.repair_events if start <= r.time <= end]
+    repairs = [r for r in bed.metrics.repair_events if start <= r.time < end]
     result.hard["TAG"] = CDF.of(r.duration for r in repairs if r.kind == "hard")
     result.soft["TAG"] = CDF.of(r.duration for r in repairs if r.kind == "soft")
     result.hard_repair_counts["TAG"] = len(result.hard["TAG"])

@@ -1,0 +1,260 @@
+"""Large-scale BRISA dissemination over synthesized overlays.
+
+PR 1 opened 10k-node scenarios for the flood baseline only; the
+synthesized-overlay bootstrap (:mod:`repro.experiments.bootstrap`,
+DESIGN.md §7) makes the *full* BRISA stack — membership + emergence +
+repair, §II — affordable at those populations by skipping the simulated
+HyParView join ramp.  This module carries the scenario entry point
+(:func:`run_scale_brisa`, also behind ``repro scale --stack brisa``) and
+the bootstrap benchmark (:func:`bootstrap_comparison`) that gates the
+synthesized path against the simulated ramp it replaces.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass
+from typing import Optional
+
+from repro.config import BrisaConfig, HyParViewConfig, StreamConfig
+from repro.core.structure import extract_structure, is_complete_structure
+from repro.experiments.common import Testbed, brisa_factory
+from repro.sim.latency import ConstantLatency, LatencyModel
+from repro.sim.monitor import DISSEMINATION
+
+
+@dataclass
+class ScaleBrisaResult:
+    """Outcome + engine telemetry of one large-scale BRISA run."""
+
+    nodes: int
+    messages: int
+    payload_bytes: int
+    seed: int
+    mode: str
+    bootstrap: str
+    #: Wall-clock seconds spent building the overlay (the ramp replacement).
+    bootstrap_wall: float
+    #: Simulated seconds the dissemination spanned.
+    sim_time: float
+    #: Wall-clock seconds of the dissemination run loop.
+    wall_time: float
+    events: int
+    events_per_sec: float
+    #: First-time message receptions across all receivers.
+    deliveries: int
+    deliveries_per_sec: float
+    delivered_fraction: float
+    #: §II-B correctness: the emerged structure covers every node, acyclically.
+    structure_complete: bool
+    structure_reason: str
+    #: Mean duplicate receptions per receiver (the Fig. 2 quantity BRISA
+    #: drives toward zero once the structure emerges).
+    duplicates_per_node: float
+    peak_pending: int
+    handle_pool_size: int
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    def summary(self) -> str:
+        structure = "complete/acyclic" if self.structure_complete else self.structure_reason
+        return "\n".join(
+            [
+                f"nodes: {self.nodes} ({self.mode} mode, {self.bootstrap} bootstrap)",
+                f"messages: {self.messages} x {self.payload_bytes} B",
+                f"delivered: {self.delivered_fraction * 100:.2f}%",
+                f"structure: {structure}",
+                f"duplicates/node (mean): {self.duplicates_per_node:.2f}",
+                f"bootstrap: {self.bootstrap_wall:.2f} s wall",
+                f"sim time: {self.sim_time:.2f} s   wall time: {self.wall_time:.2f} s",
+                f"events: {self.events:,} ({self.events_per_sec:,.0f}/s)",
+                f"deliveries: {self.deliveries:,} ({self.deliveries_per_sec:,.0f}/s)",
+                f"peak heap: {self.peak_pending:,}   handle pool: {self.handle_pool_size:,}",
+            ]
+        )
+
+
+def run_scale_brisa(
+    nodes: int,
+    messages: int,
+    *,
+    mode: str = "tree",
+    rate: float = 20.0,
+    payload_bytes: int = 1024,
+    seed: int = 1,
+    bootstrap: str = "synthesized",
+    degree: Optional[int] = None,
+    config: Optional[BrisaConfig] = None,
+    hpv_config: Optional[HyParViewConfig] = None,
+    latency: Optional[LatencyModel] = None,
+    join_spacing: float = 0.05,
+    settle: float = 45.0,
+) -> ScaleBrisaResult:
+    """Run the full BRISA stack over a ``nodes``-population overlay.
+
+    ``bootstrap`` is the :meth:`Testbed.populate` switch: ``synthesized``
+    (default — the O(n) constructor), ``simulated`` (the join ramp, for
+    baseline comparisons) or a checkpoint path.  The overlay is static
+    during dissemination (shuffles stopped), so the heap drains exactly
+    when the structure settles and the last message lands.
+    """
+    if messages < 1:
+        raise ValueError("need at least one message to disseminate")
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    cfg = config if config is not None else BrisaConfig(mode=mode)
+    if degree is not None and hpv_config is None:
+        # Same idiom as build_static_flood_overlay: size the membership
+        # config so the requested degree is legal under the protocol's
+        # own view cap, instead of silently building a sparser overlay.
+        hpv_config = HyParViewConfig(active_size=max(4, degree), passive_size=16)
+    bed = Testbed(
+        seed=seed,
+        latency=latency if latency is not None else ConstantLatency(0.001, seed=seed),
+        record_deliveries=False,
+    )
+    t0 = time.perf_counter()
+    bed.populate(
+        nodes,
+        brisa_factory(cfg, hpv_config),
+        bootstrap=bootstrap,
+        degree=degree,
+        join_spacing=join_spacing,
+        settle=settle,
+        validate=True,
+    )
+    bootstrap_wall = time.perf_counter() - t0
+    bed.stop_shuffles()
+
+    source = bed.nodes[0]
+    stream = StreamConfig(count=messages, rate=rate, payload_bytes=payload_bytes)
+    bed.metrics.set_phase(DISSEMINATION, bed.sim.now)
+    start = bed.sim.now
+    bed.start_stream(source, stream, mark_phase=False)
+    events_before = bed.sim.events_processed
+    t0 = time.perf_counter()
+    bed.sim.run_until_idle()
+    wall = max(time.perf_counter() - t0, 1e-9)
+    events = bed.sim.events_processed - events_before
+    span = max(bed.sim.now - start, 1e-9)
+    bed.metrics.close(bed.sim.now)
+    bed.network.account_keepalives(DISSEMINATION, span)
+
+    receivers = set(bed.alive_ids()) - {source.node_id}
+    deliveries = sum(
+        len(receivers & bed.metrics.deliveries.get((stream.stream_id, seq), {}).keys())
+        for seq in range(messages)
+    )
+    graph = extract_structure(bed.alive_nodes(), stream.stream_id)
+    complete, reason = is_complete_structure(
+        graph, source.node_id, set(bed.alive_ids())
+    )
+    dup_total = sum(bed.metrics.duplicates.get(n, 0) for n in receivers)
+    return ScaleBrisaResult(
+        nodes=nodes,
+        messages=messages,
+        payload_bytes=payload_bytes,
+        seed=seed,
+        mode=cfg.mode,
+        bootstrap=bootstrap if bootstrap in ("simulated", "synthesized") else "checkpoint",
+        bootstrap_wall=bootstrap_wall,
+        sim_time=span,
+        wall_time=wall,
+        events=events,
+        events_per_sec=events / wall,
+        deliveries=deliveries,
+        deliveries_per_sec=deliveries / wall,
+        delivered_fraction=deliveries / (len(receivers) * messages) if receivers else 1.0,
+        structure_complete=complete,
+        structure_reason=reason,
+        duplicates_per_node=dup_total / len(receivers) if receivers else 0.0,
+        peak_pending=bed.sim.peak_pending,
+        handle_pool_size=bed.sim.pool_size,
+    )
+
+
+# ----------------------------------------------------------------------
+# Bootstrap benchmark: synthesized constructor vs the simulated ramp
+# ----------------------------------------------------------------------
+@dataclass
+class BootstrapComparison:
+    """Wall-clock cost of populating one BRISA testbed, both ways."""
+
+    nodes: int
+    seed: int
+    simulated_wall: float
+    synthesized_wall: float
+    #: Simulator events the join ramp burned (the synthesized path: zero).
+    simulated_events: int
+
+    @property
+    def speedup(self) -> float:
+        """Ramp-replacement factor (the acceptance metric)."""
+        return self.simulated_wall / max(self.synthesized_wall, 1e-9)
+
+    def to_dict(self) -> dict:
+        d = asdict(self)
+        d["speedup"] = self.speedup
+        return d
+
+    def summary(self) -> str:
+        return "\n".join(
+            [
+                f"population: {self.nodes} BRISA nodes",
+                f"simulated join ramp: {self.simulated_wall:.2f} s wall "
+                f"({self.simulated_events:,} events)",
+                f"synthesized overlay: {self.synthesized_wall:.4f} s wall (0 events)",
+                f"speedup: {self.speedup:.1f}x",
+            ]
+        )
+
+
+def bootstrap_comparison(
+    nodes: int,
+    *,
+    seed: int = 1,
+    join_spacing: float = 0.05,
+    settle: float = 45.0,
+    config: Optional[BrisaConfig] = None,
+    hpv_config: Optional[HyParViewConfig] = None,
+    repeats: int = 3,
+) -> BootstrapComparison:
+    """Measure the synthesized bootstrap against the simulated join ramp
+    it replaces, on identical populations.  Both overlays are validated,
+    so the comparison cannot quietly trade correctness for speed.
+
+    The garbage collector is drained before each timed region (a prior
+    large-population run otherwise taxes the measured allocations with
+    its collection debt), and the cheap synthesized side keeps the best
+    of ``repeats`` runs — the minimum-noise sample, as in
+    :func:`repro.experiments.scale_flood.engine_microbench`."""
+    import gc
+
+    def populate(bootstrap: str) -> tuple[float, int]:
+        bed = Testbed(
+            seed=seed,
+            latency=ConstantLatency(0.001, seed=seed),
+            record_deliveries=False,
+        )
+        gc.collect()
+        t0 = time.perf_counter()
+        bed.populate(
+            nodes,
+            brisa_factory(config, hpv_config),
+            bootstrap=bootstrap,
+            join_spacing=join_spacing,
+            settle=settle,
+            validate=True,
+        )
+        return time.perf_counter() - t0, bed.sim.events_processed
+
+    simulated_wall, simulated_events = populate("simulated")
+    synthesized_wall = min(populate("synthesized")[0] for _ in range(max(1, repeats)))
+    return BootstrapComparison(
+        nodes=nodes,
+        seed=seed,
+        simulated_wall=simulated_wall,
+        synthesized_wall=synthesized_wall,
+        simulated_events=simulated_events,
+    )

@@ -94,13 +94,16 @@ def build_static_flood_overlay(
 ) -> tuple[Simulator, Network, list[FloodNode]]:
     """Spawn ``n`` flood nodes pre-wired into a connected random overlay.
 
-    The graph is a Hamiltonian ring (connectivity guarantee) plus random
+    The topology comes from the shared synthesized-overlay constructor
+    (:mod:`repro.experiments.bootstrap`): a Hamiltonian ring plus random
     chords up to an average degree of ``degree`` — the same shape a
     settled HyParView overlay converges to, built in O(n) instead of
     simulating the join ramp.  ``shuffles=False`` (default) stops the
     HyParView shuffle timers: a static overlay has no churn to repair,
     and a drained heap then marks the exact end of dissemination.
     """
+    from repro.experiments.bootstrap import synthesize_overlay
+
     if n < 3:
         raise ValueError("need at least 3 nodes for a ring overlay")
     if degree < 2:
@@ -112,37 +115,13 @@ def build_static_flood_overlay(
         Metrics(record_deliveries=record_deliveries),
     )
     # The static views may exceed HyParView's default cap; size the config
-    # so the wiring below is legal under the protocol's own limits.
+    # so the synthesized wiring is legal under the protocol's own limits.
     hpv = HyParViewConfig(active_size=max(4, degree), passive_size=16)
     nodes = [net.spawn(lambda network, nid: FloodNode(network, nid, hpv)) for _ in range(n)]
     if not shuffles:
         for node in nodes:
             node._shuffle_task.stop()
-
-    def wire(a: NodeId, b: NodeId) -> None:
-        nodes[a].active[b] = None
-        nodes[b].active[a] = None
-        net.register_link(a, b)
-
-    edges: set[tuple[NodeId, NodeId]] = set()
-    for i in range(n):
-        j = (i + 1) % n
-        edges.add((min(i, j), max(i, j)))
-        wire(i, j)
-    rng = sim.rng("static-overlay")
-    target_edges = (n * degree) // 2
-    attempts = 0
-    while len(edges) < target_edges and attempts < 20 * target_edges:
-        attempts += 1
-        a = rng.randrange(n)
-        b = rng.randrange(n)
-        if a == b:
-            continue
-        key = (min(a, b), max(a, b))
-        if key in edges:
-            continue
-        edges.add(key)
-        wire(a, b)
+    synthesize_overlay(nodes, net, rng=sim.rng("static-overlay"), degree=degree)
     return sim, net, nodes
 
 

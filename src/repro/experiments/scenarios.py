@@ -41,6 +41,12 @@ from repro.experiments.robustness import (
     table1_churn,
 )
 from repro.experiments.scale import FAST, LARGE, PAPER, XL, Scale, get_scale
+from repro.experiments.scale_brisa import (
+    BootstrapComparison,
+    ScaleBrisaResult,
+    bootstrap_comparison,
+    run_scale_brisa,
+)
 from repro.experiments.scale_flood import (
     MicrobenchResult,
     ScaleFloodResult,
@@ -59,6 +65,7 @@ from repro.experiments.structural import (
 
 __all__ = [
     "BandwidthResult",
+    "BootstrapComparison",
     "FAST",
     "Fig12Result",
     "Fig13Result",
@@ -70,11 +77,14 @@ __all__ = [
     "MicrobenchResult",
     "PAPER",
     "Scale",
+    "ScaleBrisaResult",
     "ScaleFloodResult",
     "XL",
     "StructureDistributions",
+    "bootstrap_comparison",
     "build_static_flood_overlay",
     "engine_microbench",
+    "run_scale_brisa",
     "run_scale_flood",
     "Table1Result",
     "Table1Row",

@@ -43,8 +43,18 @@ class HyParViewNode(PeerSamplingNode):
         self.active: dict[NodeId, None] = {}
         #: Passive view.
         self.passive: set[NodeId] = set()
-        #: Peers we have sent a Neighbor request to and not heard back from.
-        self._pending_neighbor: set[NodeId] = set()
+        #: Peers we have sent a Neighbor request to and not heard back
+        #: from, mapped to the attempt token of that request (stale
+        #: timeouts must not cancel a newer in-flight request).
+        self._pending_neighbor: dict[NodeId, int] = {}
+        self._neighbor_seq = 0
+        #: Candidates that rejected a Neighbor request in the current
+        #: promotion episode.  They stay in the passive view (they are
+        #: alive, just full — a later episode may find them with room),
+        #: but are not re-asked until the episode exhausts the reservoir:
+        #: without this, an under-full node whose reachable candidates
+        #: all sit at their cap livelocks in a Neighbor/Reject ping-pong.
+        self._promotion_rejected: set[NodeId] = set()
         self._shuffle_task = self.periodic(
             self.hpv_config.shuffle_period, self._shuffle, jitter=0.2
         )
@@ -61,6 +71,48 @@ class HyParViewNode(PeerSamplingNode):
 
     def is_active(self, peer: NodeId) -> bool:
         return peer in self.active
+
+    # ------------------------------------------------------------------
+    # Synthesized / checkpointed bootstrap (DESIGN.md §7)
+    # ------------------------------------------------------------------
+    def install_overlay(
+        self,
+        active: "list[NodeId] | tuple[NodeId, ...] | set[NodeId]",
+        passive: "list[NodeId] | tuple[NodeId, ...] | set[NodeId]",
+        *,
+        register_links: bool = True,
+    ) -> None:
+        """Wire a pre-built view directly into this node's state without
+        simulating the join protocol.
+
+        The caller owns the global invariants a settled join ramp would
+        have produced — mutual active links, connectivity, view sizes
+        within ``active_size``/``expansion_factor`` — and this method
+        installs the local state exactly as the protocol would have left
+        it: active entries with neighbour-up notifications, passive
+        entries subject to the usual exclusion rules.  ``register_links=
+        False`` lets a bulk bootstrap register all TCP links in one
+        :meth:`Network.register_links` pass instead of twice per edge.
+        """
+        for peer in active:
+            if peer == self.node_id or peer in self.active:
+                continue
+            self.passive.discard(peer)
+            self.active[peer] = None
+            if register_links:
+                self.network.register_link(self.node_id, peer)
+            self._notify_up(peer)
+        for peer in passive:
+            if peer != self.node_id and peer not in self.active:
+                self.passive.add(peer)
+
+    def overlay_snapshot(self) -> dict:
+        """Serializable view state for overlay checkpoints."""
+        return {
+            "id": self.node_id,
+            "active": list(self.active),
+            "passive": sorted(self.passive),
+        }
 
     # ------------------------------------------------------------------
     # Join protocol
@@ -109,7 +161,8 @@ class HyParViewNode(PeerSamplingNode):
             # peer evicted right back out.
             self._drop_active(victim, failure=False, notify_peer=True, replace=False)
         self.passive.discard(peer)
-        self._pending_neighbor.discard(peer)
+        self._pending_neighbor.pop(peer, None)
+        self._promotion_rejected.discard(peer)
         self.active[peer] = None
         self.network.register_link(self.node_id, peer)
         self._notify_up(peer)
@@ -135,8 +188,16 @@ class HyParViewNode(PeerSamplingNode):
         between target and target×expansion no replacement happens (§II-A)."""
         if len(self.active) + len(self._pending_neighbor) >= self.hpv_config.active_size:
             return
-        candidates = [p for p in self.passive if p not in self._pending_neighbor]
+        candidates = [
+            p
+            for p in self.passive
+            if p not in self._pending_neighbor and p not in self._promotion_rejected
+        ]
         if not candidates:
+            # Episode over: every reachable candidate was tried.  Clear
+            # the rejection memory so the next membership event (or a
+            # shuffle refilling the reservoir) re-arms promotion.
+            self._promotion_rejected.clear()
             return
         candidate = self._rng.choice(candidates)
         self._request_neighbor(candidate, priority=len(self.active) == 0)
@@ -144,8 +205,21 @@ class HyParViewNode(PeerSamplingNode):
     def _request_neighbor(self, peer: NodeId, priority: bool) -> None:
         if peer == self.node_id or peer in self.active or peer in self._pending_neighbor:
             return
-        self._pending_neighbor.add(peer)
+        self._neighbor_seq += 1
+        self._pending_neighbor[peer] = self._neighbor_seq
         self.send(peer, m.Neighbor(priority))
+        timeout = max(0.05, 6.0 * self.network.rtt(self.node_id, peer))
+        self.after(timeout, self._neighbor_timeout, peer, self._neighbor_seq)
+
+    def _neighbor_timeout(self, peer: NodeId, attempt: int) -> None:
+        if self._pending_neighbor.get(peer) != attempt:
+            return  # answered in time, or a newer request is in flight
+        # No answer: the candidate is unreachable.  Remove it from the
+        # passive view (stale entries otherwise pin a pending slot
+        # forever and shuffles keep re-spreading them) and move on.
+        del self._pending_neighbor[peer]
+        self.passive.discard(peer)
+        self._maybe_replace()
 
     def on_hpv_neighbor(self, src: NodeId, msg: m.Neighbor) -> None:
         # Priority requests (orphaned/forced joins) are always accepted;
@@ -157,13 +231,14 @@ class HyParViewNode(PeerSamplingNode):
             self.send(src, m.NeighborReject())
 
     def on_hpv_neighbor_accept(self, src: NodeId, msg: m.NeighborAccept) -> None:
-        self._pending_neighbor.discard(src)
+        self._pending_neighbor.pop(src, None)
         self._add_active(src)
 
     def on_hpv_neighbor_reject(self, src: NodeId, msg: m.NeighborReject) -> None:
-        self._pending_neighbor.discard(src)
-        # The candidate is alive but full; keep it in the passive view and
-        # try another one if we are still short.
+        self._pending_neighbor.pop(src, None)
+        # The candidate is alive but full: remember the rejection for
+        # this episode and try another candidate.
+        self._promotion_rejected.add(src)
         self._maybe_replace()
 
     def on_hpv_disconnect(self, src: NodeId, msg: m.Disconnect) -> None:
@@ -177,7 +252,8 @@ class HyParViewNode(PeerSamplingNode):
         """Heartbeat/TCP failure detection on an active-view connection
         (§II-A): replace the failed neighbour from the passive view."""
         self.passive.discard(peer)
-        self._pending_neighbor.discard(peer)
+        self._pending_neighbor.pop(peer, None)
+        self._promotion_rejected.discard(peer)
         if peer in self.active:
             del self.active[peer]
             self.network.unregister_link(self.node_id, peer)
@@ -236,6 +312,11 @@ class HyParViewNode(PeerSamplingNode):
     def _integrate(self, entries: tuple[NodeId, ...], sent_away: set[NodeId] | None) -> None:
         for peer in entries:
             self._add_passive(peer, sent_away)
+        # A refreshed reservoir re-arms promotion: an under-full view
+        # whose last episode exhausted its candidates retries at shuffle
+        # cadence instead of never (live overlays) — while shuffle-free
+        # static benchmark overlays stay quiescent so their heaps drain.
+        self._maybe_replace()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -245,3 +326,4 @@ class HyParViewNode(PeerSamplingNode):
         self.active.clear()
         self.passive.clear()
         self._pending_neighbor.clear()
+        self._promotion_rejected.clear()

@@ -101,10 +101,15 @@ def percentile_summary(
 
 
 def rate_per_minute(event_times: Iterable[float], window: tuple[float, float]) -> float:
-    """Events per minute inside a time window (Table I's rates)."""
+    """Events per minute inside a time window (Table I's rates).
+
+    The window is **half-open**, ``[start, end)``: an event exactly at
+    ``end`` belongs to the *next* window, so adjacent windows partition a
+    timeline without double-counting boundary events.
+    """
     start, end = window
     if end <= start:
         return 0.0
     arr = np.asarray(list(event_times), dtype=float)
-    inside = int(np.count_nonzero((arr >= start) & (arr <= end))) if arr.size else 0
+    inside = int(np.count_nonzero((arr >= start) & (arr < end))) if arr.size else 0
     return inside / ((end - start) / 60.0)

@@ -66,8 +66,18 @@ class Metrics:
     def __init__(self, record_deliveries: bool = True) -> None:
         self.record_deliveries = record_deliveries
         self.phase: str = STABILIZATION
+        #: First time each phase was entered (reporting only; durations
+        #: come from the accumulated closed intervals below).
         self.phase_starts: dict[str, float] = {STABILIZATION: 0.0}
+        #: Last time each phase was closed.
         self.phase_ends: dict[str, float] = {}
+        #: Sum of closed [enter, leave) intervals per phase.  A phase can
+        #: be entered repeatedly (e.g. two ``run_stream`` calls on one
+        #: testbed); only time actually spent *in* the phase counts, so
+        #: interleaved idle gaps cannot deflate bandwidth rates.
+        self.phase_elapsed: dict[str, float] = defaultdict(float)
+        #: Start of the currently-open interval (None when closed).
+        self._phase_opened_at: Optional[float] = 0.0
         # node -> phase -> bytes
         self.bytes_sent: dict[NodeId, dict[str, int]] = defaultdict(lambda: defaultdict(int))
         self.bytes_received: dict[NodeId, dict[str, int]] = defaultdict(lambda: defaultdict(int))
@@ -89,23 +99,34 @@ class Metrics:
     # Phases
     # ------------------------------------------------------------------
     def set_phase(self, phase: str, now: float) -> None:
-        """Close the current phase and open ``phase`` at time ``now``."""
-        if phase == self.phase:
+        """Close the current phase interval and open ``phase`` at ``now``.
+
+        Re-entering a phase (after a :meth:`close`, or from another
+        phase) opens a *new* interval; the closed ones stay accumulated
+        in :attr:`phase_elapsed`."""
+        if phase == self.phase and self._phase_opened_at is not None:
             return
-        self.phase_ends[self.phase] = now
+        self._close_interval(now)
         self.phase = phase
         self.phase_starts.setdefault(phase, now)
+        self._phase_opened_at = now
 
     def close(self, now: float) -> None:
-        """Mark the end of the final phase (for rate computations)."""
+        """Close the current phase interval (for rate computations).
+        Idempotent: a second close without an intervening
+        :meth:`set_phase` adds nothing."""
+        self._close_interval(now)
+
+    def _close_interval(self, now: float) -> None:
+        if self._phase_opened_at is None:
+            return
+        self.phase_elapsed[self.phase] += max(0.0, now - self._phase_opened_at)
         self.phase_ends[self.phase] = now
+        self._phase_opened_at = None
 
     def phase_duration(self, phase: str) -> float:
-        start = self.phase_starts.get(phase)
-        if start is None:
-            return 0.0
-        end = self.phase_ends.get(phase, start)
-        return max(0.0, end - start)
+        """Total time spent in ``phase`` across all its closed intervals."""
+        return self.phase_elapsed.get(phase, 0.0)
 
     # ------------------------------------------------------------------
     # Traffic

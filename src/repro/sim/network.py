@@ -78,6 +78,16 @@ class Network:
         #: take the single-event fused path (decided once — occupancy is a
         #: static property of the model, not of simulation state).
         self._fast_delivery = self.latency.zero_cost()
+        #: Messages between one ordered pair ride one TCP connection, so
+        #: delivery must be FIFO.  Models with per-message sampled jitter
+        #: can invert two sends otherwise — e.g. a Deactivate overtaken by
+        #: a later Activate leaves the link-activation state permanently
+        #: inconsistent at the two endpoints.  Uniform-delay models are
+        #: FIFO by construction (arrival monotone in send time) and skip
+        #: the bookkeeping.
+        self._fifo_order = self.latency.uniform_delay is None
+        #: Last scheduled arrival per ordered pair (FIFO clamp state).
+        self._fifo: dict[tuple[NodeId, NodeId], float] = {}
 
     # ------------------------------------------------------------------
     # Node lifecycle
@@ -123,6 +133,13 @@ class Network:
         self.links.pop(node_id, None)
         self._busy.pop(node_id, None)
         self._capacities.pop(node_id, None)
+        if self._fifo:
+            # FIFO clamp state for pairs involving the dead node can
+            # never matter again (ids are not reused); drop it so long
+            # churn runs stay bounded.
+            self._fifo = {
+                pair: t for pair, t in self._fifo.items() if node_id not in pair
+            }
         # Pending notices *to* the dead node will never be acted on; their
         # dedup entries would otherwise outlive the node forever (ids are
         # never reused).  Notices *about* it stay until they fire.
@@ -150,6 +167,32 @@ class Network:
         peers.add(a)
         self._notified.discard((a, b))
         self._notified.discard((b, a))
+
+    def register_links(self, edges: Iterable[tuple[NodeId, NodeId]]) -> int:
+        """Bulk-register undirected links (synthesized-overlay bootstrap).
+
+        Equivalent to calling :meth:`register_link` per edge, but binds the
+        dicts once so wiring a whole synthesized topology stays O(edges)
+        with minimal constant factor.  Returns the number of edges
+        processed."""
+        links = self.links
+        notified_discard = self._notified.discard
+        count = 0
+        for a, b in edges:
+            if a == b:
+                raise SimulationError("cannot link a node to itself")
+            peers = links.get(a)
+            if peers is None:
+                peers = links[a] = set()
+            peers.add(b)
+            peers = links.get(b)
+            if peers is None:
+                peers = links[b] = set()
+            peers.add(a)
+            notified_discard((a, b))
+            notified_discard((b, a))
+            count += 1
+        return count
 
     def unregister_link(self, a: NodeId, b: NodeId) -> None:
         self._unlink(a, b)
@@ -207,11 +250,26 @@ class Network:
         if self._fast_delivery:
             delay = self.latency.uniform_delay
             if delay is None:
-                delay = self.latency.sample(src, dst)
+                arrival = self._fifo_clamp(src, dst, sim.now + self.latency.sample(src, dst))
+                sim.call_at(arrival, self._deliver_fast, src, dst, msg, size)
+                return
             sim.call_at(sim.now + delay, self._deliver_fast, src, dst, msg, size)
             return
         arrival = self._enqueue_tx(src, size) + self.latency.sample(src, dst)
+        if self._fifo_order:
+            arrival = self._fifo_clamp(src, dst, arrival)
         sim.call_at(arrival, self._deliver, src, dst, msg, size)
+
+    def _fifo_clamp(self, src: NodeId, dst: NodeId, arrival: float) -> float:
+        """Clamp a sampled arrival so deliveries src→dst stay FIFO (same-
+        timestamp ties keep send order through the heap's sequence key)."""
+        key = (src, dst)
+        fifo = self._fifo
+        last = fifo.get(key)
+        if last is not None and arrival < last:
+            arrival = last
+        fifo[key] = arrival
+        return arrival
 
     def _enqueue_tx(self, src: NodeId, size: int) -> float:
         """Serialize one transmission on ``src``'s occupancy horizon and
@@ -259,12 +317,16 @@ class Network:
                 sample = self.latency.sample
                 call_at = sim.call_at
                 deliver = self._deliver_fast
+                clamp = self._fifo_clamp
                 for dst in targets:
-                    call_at(now + sample(src, dst), deliver, src, dst, msg, size)
+                    call_at(clamp(src, dst, now + sample(src, dst)), deliver, src, dst, msg, size)
         else:
+            clamp = self._fifo_clamp if self._fifo_order else None
             for dst in targets:
-                tx_done = self._enqueue_tx(src, size)
-                sim.call_at(tx_done + self.latency.sample(src, dst), self._deliver, src, dst, msg, size)
+                arrival = self._enqueue_tx(src, size) + self.latency.sample(src, dst)
+                if clamp is not None:
+                    arrival = clamp(src, dst, arrival)
+                sim.call_at(arrival, self._deliver, src, dst, msg, size)
         self.metrics.account_send_many(src, msg.kind, size, len(targets))
         return len(targets)
 

@@ -1,0 +1,256 @@
+"""Tests for the synthesized-overlay bootstrap (DESIGN.md §7).
+
+Covers the ``Testbed.populate`` clock regression, the synthesized-vs-
+simulated overlay equivalence invariants, and checkpoint round-tripping
+through BrisaNode state.
+"""
+
+import pytest
+
+from repro.config import HyParViewConfig, StreamConfig
+from repro.errors import SimulationError
+from repro.experiments.bootstrap import (
+    audit_overlay,
+    assert_valid_overlay,
+    default_degree,
+    load_overlay,
+    save_overlay,
+    synthesize_passive,
+    synthesize_topology,
+)
+from repro.experiments.common import (  # alias: avoid pytest collection
+    Testbed as _Testbed,
+    brisa_factory,
+    build_brisa_testbed,
+    build_flood_testbed,
+)
+from repro.sim.rng import derive
+
+
+# ----------------------------------------------------------------------
+# Satellite regression: populate()'s settle deadline must be clock-relative
+# ----------------------------------------------------------------------
+class TestPopulateTwice:
+    def test_second_populate_settles_fully(self):
+        # The seed bug ran the settle phase until an *absolute* deadline
+        # computed as if sim.now == 0; a second populate call under-ran
+        # (or no-opped) while its joins were still pending.
+        bed = _Testbed(seed=11)
+        bed.populate(8, brisa_factory(), join_spacing=0.1, settle=5.0)
+        t1 = bed.sim.now
+        assert t1 == pytest.approx(8 * 0.1 + 5.0)
+        bed.populate(8, brisa_factory(), join_spacing=0.1, settle=5.0)
+        assert bed.sim.now == pytest.approx(t1 + 8 * 0.1 + 5.0)
+        assert len(bed.nodes) == 16
+        # Every scheduled join actually ran and wired into the overlay.
+        assert all(node.degree >= 1 for node in bed.nodes)
+
+    def test_populate_after_prior_run_still_settles(self):
+        bed = _Testbed(seed=12)
+        bed.run(until=50.0)
+        bed.populate(6, brisa_factory(), join_spacing=0.1, settle=4.0)
+        assert bed.sim.now == pytest.approx(50.0 + 6 * 0.1 + 4.0)
+        assert all(node.degree >= 1 for node in bed.nodes)
+
+
+# ----------------------------------------------------------------------
+# Topology synthesis primitives
+# ----------------------------------------------------------------------
+class TestSynthesizeTopology:
+    def test_ring_guarantees_min_degree_two(self):
+        adj = synthesize_topology(50, degree=4, max_degree=8, rng=derive(1, "t"))
+        assert all(len(peers) >= 2 for peers in adj)
+
+    def test_respects_max_degree_cap(self):
+        adj = synthesize_topology(100, degree=7, max_degree=8, rng=derive(2, "t"))
+        assert max(len(peers) for peers in adj) <= 8
+
+    def test_symmetric(self):
+        adj = synthesize_topology(40, degree=5, max_degree=10, rng=derive(3, "t"))
+        for a, peers in enumerate(adj):
+            for b in peers:
+                assert a in adj[b]
+
+    def test_rejects_degenerate_input(self):
+        rng = derive(4, "t")
+        with pytest.raises(ValueError):
+            synthesize_topology(2, degree=2, max_degree=4, rng=rng)
+        with pytest.raises(ValueError):
+            synthesize_topology(10, degree=1, max_degree=4, rng=rng)
+        with pytest.raises(ValueError):
+            synthesize_topology(10, degree=6, max_degree=4, rng=rng)
+
+    def test_passive_views_exclude_self_and_neighbors(self):
+        adj = synthesize_topology(60, degree=4, max_degree=8, rng=derive(5, "t"))
+        views = synthesize_passive(60, adj, size=8, rng=derive(5, "p"))
+        for i, view in enumerate(views):
+            assert i not in view
+            assert not (view & adj[i])
+            assert len(view) <= 8
+
+    def test_passive_views_terminate_on_tiny_populations(self):
+        adj = synthesize_topology(4, degree=2, max_degree=4, rng=derive(6, "t"))
+        views = synthesize_passive(4, adj, size=16, rng=derive(6, "p"))
+        assert all(len(v) <= 3 for v in views)
+
+
+# ----------------------------------------------------------------------
+# Synthesized vs settled-simulated equivalence
+# ----------------------------------------------------------------------
+class TestOverlayEquivalence:
+    def test_synthesized_passes_settled_ramp_invariants(self):
+        for build in (build_brisa_testbed, build_flood_testbed):
+            bed = build(128, seed=7, bootstrap="synthesized")
+            audit = assert_valid_overlay(bed.nodes)
+            assert audit.bidirectional
+            assert audit.connected
+            assert audit.min_degree >= 2
+
+    def test_degree_distribution_matches_simulated(self):
+        hpv = HyParViewConfig()
+        simulated = build_brisa_testbed(128, seed=7)
+        synthesized = build_brisa_testbed(128, seed=7, bootstrap="synthesized")
+        a = assert_valid_overlay(simulated.nodes, hpv)
+        b = assert_valid_overlay(synthesized.nodes, hpv)
+        # Statistically indistinguishable by the audit: same support
+        # bounds, means within one link of each other.
+        assert abs(a.mean_degree - b.mean_degree) <= 1.0
+        assert a.max_degree <= hpv.max_active and b.max_degree <= hpv.max_active
+
+    def test_links_registered_for_failure_detection(self):
+        bed = build_brisa_testbed(64, seed=8, bootstrap="synthesized")
+        for node in bed.nodes:
+            for peer in node.active:
+                assert bed.network.linked(node.node_id, peer)
+
+    def test_passive_views_populated(self):
+        bed = build_brisa_testbed(128, seed=9, bootstrap="synthesized")
+        sizes = [len(n.passive) for n in bed.nodes]
+        assert min(sizes) > 0
+        assert max(sizes) <= HyParViewConfig().passive_size
+
+    def test_validation_mode_rejects_broken_overlay(self):
+        bed = build_brisa_testbed(32, seed=10, bootstrap="synthesized")
+        # Break bidirectionality behind the membership layer's back.
+        a, b = bed.nodes[0], bed.nodes[1]
+        victim = next(iter(a.active))
+        del bed.node(victim).active[a.node_id]
+        with pytest.raises(SimulationError, match="mutual"):
+            assert_valid_overlay(bed.nodes)
+
+    def test_default_degree_tracks_expanded_cap(self):
+        assert default_degree(HyParViewConfig()) == 7  # cap 8, settled ~7
+        assert default_degree(HyParViewConfig(active_size=2, expansion_factor=1.0)) == 2
+
+    def test_explicit_degree_above_cap_rejected_not_clamped(self):
+        # Silently clamping would hand back a different topology than the
+        # caller asked for.
+        bed = _Testbed(seed=14)
+        with pytest.raises(ValueError, match="cap"):
+            bed.populate(32, brisa_factory(), bootstrap="synthesized", degree=12)
+
+    def test_dissemination_over_synthesized_overlay(self):
+        bed = build_brisa_testbed(96, seed=13, bootstrap="synthesized")
+        bed.stop_shuffles()
+        source = bed.choose_source()
+        result = bed.run_stream(source, StreamConfig(count=20, rate=10.0))
+        assert result.delivered_fraction() == 1.0
+        ok, reason = result.structure_ok()
+        assert ok, reason
+
+
+# ----------------------------------------------------------------------
+# Checkpoints
+# ----------------------------------------------------------------------
+class TestCheckpoints:
+    def test_round_trip_through_brisa_state(self, tmp_path):
+        path = tmp_path / "overlay.json"
+        bed = build_brisa_testbed(64, seed=21, bootstrap="synthesized")
+        bed.save_overlay(path)
+
+        restored = build_brisa_testbed(64, seed=99, bootstrap=str(path))
+        assert_valid_overlay(restored.nodes)
+        for orig, fresh in zip(bed.nodes, restored.nodes):
+            assert set(orig.active) == set(fresh.active)
+            assert orig.passive == fresh.passive
+        # §II-C: BrisaNode stream state comes up consistent — every
+        # installed neighbour starts as an active inbound link, position
+        # fresh so the bootstrap flood runs unchanged.
+        node = restored.nodes[0]
+        state = node.stream_state(0)
+        assert set(state.in_active) == set(node.active)
+        assert all(state.in_active.values())
+        assert state.position is None
+
+    def test_restored_overlay_disseminates(self, tmp_path):
+        path = tmp_path / "overlay.json"
+        build_brisa_testbed(64, seed=22, bootstrap="synthesized").save_overlay(path)
+        bed = build_brisa_testbed(64, seed=23, bootstrap=str(path))
+        bed.stop_shuffles()
+        result = bed.run_stream(bed.choose_source(), StreamConfig(count=10, rate=10.0))
+        assert result.delivered_fraction() == 1.0
+        ok, reason = result.structure_ok()
+        assert ok, reason
+
+    def test_checkpoint_is_json_with_format_tag(self, tmp_path):
+        import json
+
+        path = tmp_path / "overlay.json"
+        bed = build_brisa_testbed(16, seed=24, bootstrap="synthesized")
+        save_overlay(bed.nodes, path)
+        payload = json.loads(path.read_text())
+        assert payload["format"] == "brisa-overlay/1"
+        assert payload["n"] == 16
+        cp = load_overlay(path)
+        assert cp.n == 16
+
+    def test_population_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "overlay.json"
+        build_brisa_testbed(16, seed=25, bootstrap="synthesized").save_overlay(path)
+        with pytest.raises(SimulationError, match="16"):
+            build_brisa_testbed(8, seed=26, bootstrap=str(path))
+
+    def test_corrupt_checkpoints_rejected(self, tmp_path):
+        missing = tmp_path / "nope.json"
+        with pytest.raises(SimulationError, match="cannot read"):
+            load_overlay(missing)
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"format": "something-else"}')
+        with pytest.raises(SimulationError, match="unsupported"):
+            load_overlay(bad)
+
+    def test_failed_checkpoint_load_spawns_no_orphans(self, tmp_path):
+        # The checkpoint is loaded before any node is spawned: a bad path
+        # must not leave phantom nodes with live shuffle timers behind.
+        bed = _Testbed(seed=27)
+        with pytest.raises(SimulationError):
+            bed.populate(8, brisa_factory(), bootstrap=str(tmp_path / "nope.json"))
+        assert not bed.network.nodes
+        assert bed.sim.pending == 0
+
+
+# ----------------------------------------------------------------------
+# Guard rails
+# ----------------------------------------------------------------------
+class TestGuards:
+    def test_join_first_incompatible_with_synthesized(self):
+        bed = _Testbed(seed=30)
+        with pytest.raises(ValueError, match="join_first"):
+            bed.populate(8, brisa_factory(), join_first=True, bootstrap="synthesized")
+
+    def test_degree_incompatible_with_simulated_ramp(self):
+        # The join ramp converges on HyParViewConfig alone; a degree
+        # request would be silently ignored, so it is rejected instead.
+        bed = _Testbed(seed=32)
+        with pytest.raises(ValueError, match="degree"):
+            bed.populate(8, brisa_factory(), bootstrap="simulated", degree=6)
+
+    def test_non_hyparview_stack_rejected(self):
+        from repro.sim.node import ProtocolNode
+
+        bed = _Testbed(seed=31)
+        with pytest.raises(SimulationError, match="HyParView"):
+            bed.populate(
+                8, lambda network, nid: ProtocolNode(network, nid),
+                bootstrap="synthesized",
+            )

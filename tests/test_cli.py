@@ -62,6 +62,48 @@ def test_scale_command_uses_scale_population(capsys):
     assert "nodes: 32" in printed  # tiny.cluster_nodes
 
 
+def test_scale_command_size_alias(capsys):
+    assert main(["scale", "--size", "tiny", "--messages", "3", "--no-microbench"]) == 0
+    printed = capsys.readouterr().out
+    assert "nodes: 32" in printed
+
+
+def test_scale_brisa_stack_runs_and_writes_json(capsys, tmp_path):
+    out = tmp_path / "bench.json"
+    assert main([
+        "scale", "--stack", "brisa", "--nodes", "64", "--messages", "3",
+        "--no-microbench", "--json", str(out),
+    ]) == 0
+    printed = capsys.readouterr().out
+    assert "Scale brisa" in printed
+    assert "delivered: 100.00%" in printed
+    assert "complete/acyclic" in printed
+    import json
+
+    data = json.loads(out.read_text())
+    assert data["scale_run"]["nodes"] == 64
+    assert data["scale_run"]["structure_complete"] is True
+    assert data["scale_run"]["bootstrap"] == "synthesized"
+
+
+def test_scale_brisa_stack_rejects_bad_checkpoint(capsys, tmp_path):
+    missing = tmp_path / "nope.json"
+    assert main([
+        "scale", "--stack", "brisa", "--nodes", "32", "--messages", "2",
+        "--bootstrap", str(missing), "--no-microbench",
+    ]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_scale_brisa_flags_rejected_on_flood_stack(capsys):
+    assert main(["scale", "--nodes", "32", "--mode", "dag", "--no-microbench"]) == 2
+    assert "--stack brisa" in capsys.readouterr().err
+    assert main([
+        "scale", "--nodes", "32", "--bootstrap", "simulated", "--no-microbench",
+    ]) == 2
+    assert "--stack brisa" in capsys.readouterr().err
+
+
 def test_unknown_experiment_rejected():
     with pytest.raises(SystemExit):
         make_parser().parse_args(["run", "fig99"])

@@ -25,6 +25,26 @@ def test_set_same_phase_is_noop():
     assert STABILIZATION not in m.phase_ends
 
 
+def test_phase_reentry_accumulates_closed_intervals():
+    # Two run_stream calls on one testbed: only in-phase time counts, not
+    # the interleaved gap between close() and the next set_phase().
+    m = Metrics()
+    m.set_phase(DISSEMINATION, now=10.0)
+    m.close(now=25.0)  # first stream: 15 s
+    m.set_phase(DISSEMINATION, now=100.0)  # re-enter after a 75 s gap
+    m.close(now=130.0)  # second stream: 30 s
+    assert m.phase_duration(DISSEMINATION) == pytest.approx(45.0)
+    assert m.phase_duration(STABILIZATION) == pytest.approx(10.0)
+
+
+def test_close_is_idempotent():
+    m = Metrics()
+    m.set_phase(DISSEMINATION, now=10.0)
+    m.close(now=20.0)
+    m.close(now=50.0)  # no intervening set_phase: adds nothing
+    assert m.phase_duration(DISSEMINATION) == pytest.approx(10.0)
+
+
 def test_bytes_tagged_with_current_phase():
     m = Metrics()
     m.account_send(1, "data", 100)

@@ -82,8 +82,9 @@ def test_percentile_summary_is_sorted(sample):
     st.floats(min_value=0.1, max_value=500, allow_nan=False),
 )
 def test_rate_per_minute_counts_only_window(times, start, width):
+    # Half-open [start, end): boundary events belong to the next window.
     rate = rate_per_minute(times, (start, start + width))
-    inside = sum(1 for t in times if start <= t <= start + width)
+    inside = sum(1 for t in times if start <= t < start + width)
     assert rate * (width / 60.0) == inside or abs(rate * width / 60.0 - inside) < 1e-6
 
 

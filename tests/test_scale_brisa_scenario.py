@@ -1,0 +1,73 @@
+"""Tests for the large-scale BRISA scenario (small populations here;
+the 2k/10k runs live in benchmarks/test_scale_brisa.py)."""
+
+import pytest
+
+from repro.experiments.scale_brisa import bootstrap_comparison, run_scale_brisa
+
+
+class TestRunScaleBrisa:
+    def test_full_delivery_and_structure_on_small_population(self):
+        result = run_scale_brisa(96, 10, seed=6)
+        assert result.delivered_fraction == 1.0
+        assert result.structure_complete, result.structure_reason
+        assert result.deliveries == 95 * 10
+        assert result.bootstrap == "synthesized"
+        assert result.bootstrap_wall > 0
+        assert result.events > 0
+        assert result.wall_time > 0
+
+    def test_dag_mode(self):
+        result = run_scale_brisa(64, 8, mode="dag", seed=7)
+        assert result.mode == "dag"
+        assert result.delivered_fraction == 1.0
+        assert result.structure_complete, result.structure_reason
+
+    def test_simulated_bootstrap_also_works(self):
+        result = run_scale_brisa(
+            48, 5, seed=8, bootstrap="simulated", join_spacing=0.05, settle=10.0
+        )
+        assert result.bootstrap == "simulated"
+        assert result.delivered_fraction == 1.0
+        assert result.structure_complete, result.structure_reason
+
+    def test_result_serializes_for_bench_json(self):
+        result = run_scale_brisa(48, 3, seed=9)
+        d = result.to_dict()
+        for key in (
+            "nodes", "messages", "bootstrap", "bootstrap_wall",
+            "delivered_fraction", "structure_complete", "duplicates_per_node",
+            "events_per_sec", "deliveries_per_sec",
+        ):
+            assert key in d
+        assert "delivered: 100.00%" in result.summary()
+        assert "complete/acyclic" in result.summary()
+
+    def test_deterministic_for_fixed_seed(self):
+        a = run_scale_brisa(48, 4, seed=10)
+        b = run_scale_brisa(48, 4, seed=10)
+        assert a.events == b.events
+        assert a.deliveries == b.deliveries
+        assert a.sim_time == b.sim_time
+
+    def test_rejects_degenerate_input(self):
+        with pytest.raises(ValueError):
+            run_scale_brisa(64, 0)
+        with pytest.raises(ValueError):
+            run_scale_brisa(64, 5, rate=0.0)
+
+
+class TestBootstrapComparison:
+    def test_synthesized_beats_simulated_ramp(self):
+        comp = bootstrap_comparison(128, seed=3, join_spacing=0.05, settle=15.0)
+        assert comp.simulated_events > 0
+        assert comp.synthesized_wall > 0
+        # The strict 10x gate lives in benchmarks/test_scale_brisa.py at
+        # 2k nodes; at this toy size just require a real win.
+        assert comp.speedup > 1.0
+
+    def test_serializes(self):
+        comp = bootstrap_comparison(64, seed=4, settle=5.0)
+        d = comp.to_dict()
+        assert d["speedup"] == comp.speedup
+        assert "speedup" in comp.summary()

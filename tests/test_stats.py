@@ -64,8 +64,19 @@ class TestRatePerMinute:
         times = [10.0, 20.0, 30.0, 70.0]
         assert rate_per_minute(times, (0.0, 60.0)) == pytest.approx(3.0)
 
-    def test_window_edges_inclusive(self):
-        assert rate_per_minute([0.0, 60.0], (0.0, 60.0)) == pytest.approx(2.0)
+    def test_window_is_half_open(self):
+        # [start, end): the event at end belongs to the next window, so
+        # adjacent windows partition a timeline without double-counting.
+        assert rate_per_minute([0.0, 60.0], (0.0, 60.0)) == pytest.approx(1.0)
+        assert rate_per_minute([0.0, 60.0], (60.0, 120.0)) == pytest.approx(1.0)
+
+    def test_adjacent_windows_partition(self):
+        times = [0.0, 30.0, 60.0, 90.0, 120.0]
+        total = sum(
+            rate_per_minute(times, (lo, lo + 60.0)) for lo in (0.0, 60.0)
+        )
+        # 4 events inside [0, 120), none counted twice.
+        assert total == pytest.approx(4.0)
 
     def test_empty_and_degenerate(self):
         assert rate_per_minute([], (0, 60)) == 0.0
