@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""Diff BENCH_*.json artifacts against the committed baselines.
+
+The scale benchmarks persist their results to
+``benchmarks/out/BENCH_*.json``; the committed copies are the
+performance baselines the ROADMAP's perf trajectory is measured
+against.  This script fails (exit 1) when any *gated* metric of a
+candidate run regresses by more than the tolerance against its
+baseline — the ``bench-compare`` CI job runs it on every PR with the
+job's freshly produced artifacts, and it is equally runnable locally:
+
+    python benchmarks/compare_bench.py --candidate benchmarks/out
+    python benchmarks/compare_bench.py --candidate ./artifacts --tolerance 0.30
+
+Gated metrics are deliberately machine-portable: deterministic
+simulation outputs (event counts, delivery counts/fractions, duplicate
+rates, structure completeness) at the default 30% tolerance, and
+same-machine throughput *ratios* (microbench speedups — both sides of a
+ratio share the run's throttling) at a wider tolerance for shared CI
+runners.  Absolute wall-clock and events/s numbers are intentionally
+not gated: they compare machines, not code.
+
+Stdlib-only on purpose — CI runs it without installing anything.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+#: Tolerance for same-machine throughput ratios on shared/throttled CI
+#: runners (the deterministic metrics keep the strict default).
+RATIO_TOLERANCE = 0.60
+
+#: file -> (dotted metric path, direction, tolerance override or None).
+#: Direction 'higher' means bigger is better; 'lower' the opposite.
+GATED_METRICS: dict[str, list[tuple[str, str, float | None]]] = {
+    "BENCH_scale.json": [
+        ("scale_run.delivered_fraction", "higher", None),
+        ("scale_run.deliveries", "higher", None),
+        ("scale_run.events", "lower", None),
+        ("microbench.speedup", "higher", RATIO_TOLERANCE),
+        ("occupancy_microbench.speedup", "higher", RATIO_TOLERANCE),
+        ("xxl.delivered_fraction", "higher", None),
+        ("xxl.events", "lower", None),
+    ],
+    "BENCH_scale_brisa.json": [
+        ("scale_run.delivered_fraction", "higher", None),
+        ("scale_run.duplicates_per_node", "lower", None),
+        ("scale_run.events", "lower", None),
+        ("scale_run.structure_complete", "higher", None),
+        ("bootstrap.speedup", "higher", RATIO_TOLERANCE),
+        ("xxl.delivered_fraction", "higher", None),
+    ],
+}
+
+
+def lookup(payload: dict, dotted: str):
+    """Resolve a dotted path, or None when any segment is missing."""
+    value = payload
+    for part in dotted.split("."):
+        if not isinstance(value, dict) or part not in value:
+            return None
+        value = value[part]
+    if isinstance(value, bool):
+        return float(value)
+    return value
+
+
+def compare_file(
+    name: str,
+    baseline_path: pathlib.Path,
+    candidate_path: pathlib.Path,
+    tolerance: float,
+) -> tuple[list[str], list[str]]:
+    """Return (regressions, notes) for one benchmark file."""
+    regressions: list[str] = []
+    notes: list[str] = []
+    if not baseline_path.exists():
+        notes.append(f"{name}: no committed baseline — skipped")
+        return regressions, notes
+    if not candidate_path.exists():
+        # A missing candidate usually means the producing job failed
+        # before writing artifacts; the tier-1 job already reports that.
+        notes.append(f"{name}: no candidate artifact — skipped")
+        return regressions, notes
+    baseline = json.loads(baseline_path.read_text())
+    candidate = json.loads(candidate_path.read_text())
+    for dotted, direction, override in GATED_METRICS[name]:
+        base = lookup(baseline, dotted)
+        cand = lookup(candidate, dotted)
+        if base is None or cand is None:
+            # e.g. the xxl entry exists only in nightly artifacts.
+            notes.append(f"{name}: {dotted} absent from "
+                         f"{'baseline' if base is None else 'candidate'} — skipped")
+            continue
+        tol = tolerance if override is None else override
+        if direction == "higher":
+            floor = base * (1.0 - tol)
+            ok = cand >= floor
+            bound = f">= {floor:g}"
+        else:
+            ceiling = base * (1.0 + tol)
+            ok = cand <= ceiling
+            bound = f"<= {ceiling:g}"
+        line = (f"{name}: {dotted} baseline={base:g} candidate={cand:g} "
+                f"(required {bound})")
+        if ok:
+            notes.append("ok   " + line)
+        else:
+            regressions.append("FAIL " + line)
+    return regressions, notes
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fail on >tolerance regression of any gated benchmark metric"
+    )
+    parser.add_argument(
+        "--candidate", type=pathlib.Path,
+        help="directory holding the freshly produced BENCH_*.json artifacts",
+    )
+    parser.add_argument(
+        "--prune-xxl", type=pathlib.Path, metavar="DIR",
+        help="strip the nightly-only 'xxl' entries from BENCH_*.json in DIR "
+             "and exit.  Per-push CI runs this before the benchmarks so the "
+             "uploaded artifacts carry only values that run measured — "
+             "otherwise the merge-written files inherit the committed xxl "
+             "entries and the xxl gates would compare the baseline against "
+             "itself",
+    )
+    parser.add_argument(
+        "--baseline", type=pathlib.Path,
+        default=pathlib.Path(__file__).parent / "out",
+        help="directory of committed baselines (default: benchmarks/out)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.30,
+        help="allowed relative regression for deterministic metrics (default 0.30)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.prune_xxl is not None:
+        for name in sorted(GATED_METRICS):
+            path = args.prune_xxl / name
+            if not path.exists():
+                continue
+            data = json.loads(path.read_text())
+            if data.pop("xxl", None) is not None:
+                path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+                print(f"{name}: pruned stale xxl entry")
+        return 0
+    if args.candidate is None:
+        parser.error("--candidate is required (unless --prune-xxl)")
+
+    all_regressions: list[str] = []
+    for name in sorted(GATED_METRICS):
+        regressions, notes = compare_file(
+            name, args.baseline / name, args.candidate / name, args.tolerance
+        )
+        for line in notes:
+            print(line)
+        for line in regressions:
+            print(line)
+        all_regressions.extend(regressions)
+    if all_regressions:
+        print(f"\n{len(all_regressions)} gated metric(s) regressed beyond tolerance")
+        return 1
+    print("\nall gated metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

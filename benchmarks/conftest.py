@@ -12,6 +12,7 @@ fraction of the runtime.
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
@@ -19,6 +20,16 @@ import pytest
 from repro.experiments.scale import get_scale
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def merge_bench_json(path: pathlib.Path, updates: dict) -> dict:
+    """Merge ``updates`` into a BENCH_*.json file, preserving entries
+    written by other runs — the xxl benchmarks (nightly CI) and the
+    default-tier benchmarks update disjoint keys of the same file."""
+    data = json.loads(path.read_text()) if path.exists() else {}
+    data.update(updates)
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return data
 
 
 @pytest.fixture(scope="session")

@@ -14,19 +14,22 @@ Acceptance gates:
 - the synthesized bootstrap is >= 10x faster wall-clock than the
   simulated join ramp it replaces, measured at 2k nodes.
 
-A 2k-node smoke variant (``-k smoke``) covers CI pushes where the full
-10k run would be too heavy.
+The ``xxl`` (100k-node) rung opened by the array-backed bootstrap runs
+behind ``REPRO_XXL=1`` (nightly CI / driver acceptance).  A 2k-node
+smoke variant (``-k smoke``) covers CI pushes where the full 10k run
+would be too heavy.
 """
 
-import json
 import os
 
+import pytest
+
 from repro.experiments.report import banner
-from repro.experiments.scale import LARGE, XL
+from repro.experiments.scale import LARGE, XL, XXL
 from repro.experiments.scale_brisa import bootstrap_comparison, run_scale_brisa
 from repro.experiments.scale_flood import run_scale_flood
 
-from benchmarks.conftest import OUT_DIR
+from benchmarks.conftest import OUT_DIR, merge_bench_json
 
 #: Stream length for the benchmark runs (matches test_scale_flood).
 MESSAGES = 20
@@ -52,13 +55,13 @@ def test_scale_brisa_10k(emit):
     emit("scale_brisa", text)
 
     OUT_DIR.mkdir(exist_ok=True)
-    payload = {
-        "scale_run": brisa.to_dict(),
-        "flood_baseline": flood.to_dict(),
-        "bootstrap": boot.to_dict(),
-    }
-    (OUT_DIR / "BENCH_scale_brisa.json").write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    merge_bench_json(
+        OUT_DIR / "BENCH_scale_brisa.json",
+        {
+            "scale_run": brisa.to_dict(),
+            "flood_baseline": flood.to_dict(),
+            "bootstrap": boot.to_dict(),
+        },
     )
 
     # Structure correctness (§II-B) at a population 20x the paper's.
@@ -74,6 +77,26 @@ def test_scale_brisa_10k(emit):
     # unevenly-throttled shared CI runners (ci.yml), never locally.
     gate = float(os.environ.get("BENCH_BOOTSTRAP_GATE", "10.0"))
     assert boot.speedup >= gate, boot.summary()
+
+
+@pytest.mark.skipif(
+    not os.environ.get("REPRO_XXL"),
+    reason="100k rung runs nightly / on demand (set REPRO_XXL=1)",
+)
+def test_scale_brisa_xxl_100k(emit):
+    """The 100k rung for the full BRISA stack: membership + emergence
+    over an array-backed synthesized overlay."""
+    result = run_scale_brisa(XXL.cluster_nodes, XXL.messages, rate=20.0, seed=3)
+    emit(
+        "scale_brisa_xxl",
+        banner(f"Scale BRISA — {result.nodes} nodes (xxl)") + "\n" + result.summary(),
+    )
+    OUT_DIR.mkdir(exist_ok=True)
+    merge_bench_json(OUT_DIR / "BENCH_scale_brisa.json", {"xxl": result.to_dict()})
+
+    assert result.nodes == XXL.cluster_nodes
+    assert result.structure_complete, result.structure_reason
+    assert result.delivered_fraction == 1.0
 
 
 def test_scale_brisa_smoke_2k(emit):

@@ -1,29 +1,39 @@
-"""Scale flood — the 10k-node dissemination the hot-path overhaul opens.
+"""Scale flood — the 10k/100k dissemination rungs of the perf trajectory.
 
 Not a paper artifact: this is the performance baseline every later
-scaling PR is measured against (DESIGN.md §6).  It floods a stream over
-an ``xl``-scale (10k-node) static overlay, measures engine throughput,
-runs the legacy-vs-fused engine microbenchmark on the same machine, and
-persists everything to ``benchmarks/out/BENCH_scale.json``.
+scaling PR is measured against (DESIGN.md §6, §8).  It floods a stream
+over an ``xl``-scale (10k-node) static overlay, measures engine
+throughput, runs the legacy-vs-fused engine microbenchmark and the
+per-message-vs-fused *occupancy* microbenchmark on the same machine,
+and persists everything to ``benchmarks/out/BENCH_scale.json``.
 
 Acceptance gates:
 
 - the 10k-node dissemination completes with every receiver served;
 - the fused hot path sustains >= 2x the pre-overhaul engine's delivery
-  throughput (``microbench.speedup``).
+  throughput (``microbench.speedup``);
+- the fused occupancy fan-out sustains >= 2x the per-message occupancy
+  path (``occupancy_microbench.speedup``).
 
-A 2k-node smoke variant (``-k smoke``) covers CI pushes where the full
-10k run would be too heavy.
+The ``xxl`` (100k-node) rung opened by the array-backed bootstrap runs
+behind ``REPRO_XXL=1`` — it is exercised by the nightly CI workflow and
+by driver acceptance runs, not by per-push CI.  A 2k-node smoke variant
+(``-k smoke``) covers CI pushes where even the 10k run would be heavy.
 """
 
-import json
 import os
 
-from repro.experiments.report import banner
-from repro.experiments.scale import LARGE, XL
-from repro.experiments.scale_flood import engine_microbench, run_scale_flood
+import pytest
 
-from benchmarks.conftest import OUT_DIR
+from repro.experiments.report import banner
+from repro.experiments.scale import LARGE, XL, XXL
+from repro.experiments.scale_flood import (
+    engine_microbench,
+    occupancy_microbench,
+    run_scale_flood,
+)
+
+from benchmarks.conftest import OUT_DIR, merge_bench_json
 
 #: Stream length for the benchmark runs: long enough to overlap many
 #: messages in flight (peak-heap pressure), short enough for CI.
@@ -37,18 +47,25 @@ def test_scale_flood_10k(benchmark, emit):
         iterations=1,
     )
     micro = engine_microbench()
+    occ = occupancy_microbench()
     text = (
         banner(f"Scale flood — {result.nodes} nodes (xl)")
         + "\n" + result.summary()
         + "\n" + banner("Engine microbenchmark — legacy vs fused hot path")
         + "\n" + micro.summary()
+        + "\n" + banner("Occupancy microbenchmark — per-message vs fused fan-out")
+        + "\n" + occ.summary()
     )
     emit("scale_flood", text)
 
     OUT_DIR.mkdir(exist_ok=True)
-    payload = {"scale_run": result.to_dict(), "microbench": micro.to_dict()}
-    (OUT_DIR / "BENCH_scale.json").write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    merge_bench_json(
+        OUT_DIR / "BENCH_scale.json",
+        {
+            "scale_run": result.to_dict(),
+            "microbench": micro.to_dict(),
+            "occupancy_microbench": occ.to_dict(),
+        },
     )
 
     # The dissemination completed: every live receiver got every message.
@@ -60,10 +77,34 @@ def test_scale_flood_10k(benchmark, emit):
     # (ci.yml sets 1.3) without weakening the local/driver acceptance.
     gate = float(os.environ.get("BENCH_SPEEDUP_GATE", "2.0"))
     assert micro.speedup >= gate, micro.summary()
+    # Occupancy acceptance (DESIGN.md §8): the fused fan-out clears 2x
+    # the per-message occupancy path (measured ~3x locally); same CI
+    # relaxation story via BENCH_OCC_SPEEDUP_GATE.
+    occ_gate = float(os.environ.get("BENCH_OCC_SPEEDUP_GATE", "2.0"))
+    assert occ.speedup >= occ_gate, occ.summary()
     # Telemetry sanity: the run actually stressed the engine.
     assert result.events > result.nodes * MESSAGES
     assert result.peak_pending > 0
     assert result.handle_pool_size > 0
+
+
+@pytest.mark.skipif(
+    not os.environ.get("REPRO_XXL"),
+    reason="100k rung runs nightly / on demand (set REPRO_XXL=1)",
+)
+def test_scale_flood_xxl_100k(emit):
+    """The 100k rung: array-backed bootstrap + fused delivery end to end."""
+    result = run_scale_flood(XXL.cluster_nodes, XXL.messages, rate=20.0, seed=3)
+    emit(
+        "scale_flood_xxl",
+        banner(f"Scale flood — {result.nodes} nodes (xxl)") + "\n" + result.summary(),
+    )
+    OUT_DIR.mkdir(exist_ok=True)
+    merge_bench_json(OUT_DIR / "BENCH_scale.json", {"xxl": result.to_dict()})
+
+    assert result.nodes == XXL.cluster_nodes
+    assert result.delivered_fraction == 1.0
+    assert result.deliveries == (XXL.cluster_nodes - 1) * XXL.messages
 
 
 def test_scale_flood_smoke_2k(emit):

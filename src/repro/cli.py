@@ -8,6 +8,7 @@ Commands mirror the per-experiment index of DESIGN.md §4::
     python -m repro quickstart               # the README quickstart
     python -m repro scale --scale xl         # 10k-node flood benchmark
     python -m repro scale --stack brisa --size xl   # full BRISA stack at 10k
+    python -m repro scale --scale xxl --messages 10 --no-microbench  # 100k rung
 """
 
 from __future__ import annotations
@@ -137,13 +138,13 @@ def make_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list reproducible artifacts")
     run = sub.add_parser("run", help="run one artifact (or 'all')")
     run.add_argument("experiment", choices=[*EXPERIMENTS, "all"])
-    run.add_argument("--scale", default=None, help="tiny | fast | paper | large | xl")
+    run.add_argument("--scale", default=None, help="tiny | fast | paper | large | xl | xxl")
     sub.add_parser("quickstart", help="run the README quickstart")
     sc_cmd = sub.add_parser(
         "scale", help="large-scale dissemination benchmark (see DESIGN.md §6–7)"
     )
     sc_cmd.add_argument("--scale", "--size", dest="scale", default="large",
-                        help="tiny | fast | paper | large | xl")
+                        help="tiny | fast | paper | large | xl | xxl")
     sc_cmd.add_argument("--stack", choices=["flood", "brisa"], default="flood",
                         help="protocol stack: flood baseline or the full BRISA stack")
     sc_cmd.add_argument("--nodes", type=int, default=None,
@@ -163,7 +164,7 @@ def make_parser() -> argparse.ArgumentParser:
     sc_cmd.add_argument("--json", dest="json_path", default=None, metavar="FILE",
                         help="also write the results as JSON")
     sc_cmd.add_argument("--no-microbench", action="store_true",
-                        help="skip the legacy-vs-fast engine microbenchmark")
+                        help="skip the engine and occupancy microbenchmarks")
     return parser
 
 
@@ -208,6 +209,10 @@ def _run_scale(args) -> int:
         print(rp.banner("Engine microbenchmark — legacy vs fused hot path"))
         print(bench.summary())
         payload["microbench"] = bench.to_dict()
+        occ = sc.occupancy_microbench()
+        print(rp.banner("Occupancy microbenchmark — per-message vs fused fan-out"))
+        print(occ.summary())
+        payload["occupancy_microbench"] = occ.to_dict()
     if args.json_path:
         with open(args.json_path, "w") as fh:
             json.dump(payload, fh, indent=2, sort_keys=True)

@@ -12,6 +12,17 @@ empirical settled degree, capped per node at ``max_active`` — and wires
 it into node state through :meth:`HyParViewNode.install_overlay` without
 a single simulated message.
 
+The production synthesizer is **array-backed** (DESIGN.md §8): the
+ring+chords overlay is produced as flat integer arrays — a CSR-style
+adjacency (``offsets``/``neighbors``) plus a degree vector — instead of
+per-node dicts/objects, and installed in bulk through
+:meth:`HyParViewNode.install_overlay` and
+:meth:`Network.register_links_csr`.  The original dict-of-sets
+primitives (:func:`synthesize_topology`, :func:`synthesize_passive`)
+are kept as the readable reference implementation; both consume the RNG
+identically, so they produce the *same* overlay for the same seed —an
+equivalence pinned by property tests.
+
 Three entry points:
 
 - :func:`synthesize_overlay` — build + install a fresh topology over
@@ -34,6 +45,7 @@ from __future__ import annotations
 
 import json
 import pathlib
+from array import array
 from dataclasses import dataclass
 
 from repro.config import HyParViewConfig
@@ -128,6 +140,132 @@ def synthesize_passive(
 
 
 # ----------------------------------------------------------------------
+# Array-backed topology synthesis (DESIGN.md §8)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CSRTopology:
+    """Ring+chords overlay as flat integer arrays.
+
+    Row ``i``'s neighbours are the index slice
+    ``neighbors[offsets[i]:offsets[i+1]]``; ``degrees[i]`` is its length.
+    Entries are node *indices* (``0..n-1``) — id translation happens at
+    install time — so one topology is reusable across testbeds.
+    """
+
+    n: int
+    #: Row starts, ``n + 1`` entries ('q': edge counts exceed 'i' range
+    #: long before populations do).
+    offsets: array
+    #: Concatenated adjacency rows, ``2 * edges`` entries.
+    neighbors: array
+    #: Per-node degree vector (``offsets[i+1] - offsets[i]``).
+    degrees: array
+
+    @property
+    def edges(self) -> int:
+        return len(self.neighbors) // 2
+
+
+def synthesize_topology_arrays(
+    n: int, *, degree: int, max_degree: int, rng
+) -> CSRTopology:
+    """Array-backed :func:`synthesize_topology`: same draws, same graph.
+
+    Both synthesizers consume ``rng`` identically (one ``randrange`` pair
+    per chord attempt, identical accept/reject decisions), so for the
+    same seed they produce the same edge set — the property the
+    bootstrap equivalence tests pin.  This one builds the overlay as an
+    edge list plus a degree vector and assembles the CSR adjacency with
+    a counting sort: O(n·degree) time with no per-node Python
+    containers.
+    """
+    if n < 3:
+        raise ValueError("need at least 3 nodes for a ring overlay")
+    if degree < 2:
+        raise ValueError("degree must be >= 2 (ring minimum)")
+    if max_degree < degree:
+        raise ValueError("max_degree must be >= degree")
+    degrees = array("i", bytes(4 * n))  # zero-initialised
+    edge_a = array("i")
+    edge_b = array("i")
+    # The Hamiltonian ring (connectivity guarantee).
+    for i in range(n):
+        j = i + 1 if i + 1 < n else 0
+        edge_a.append(i)
+        edge_b.append(j)
+        degrees[i] += 1
+        degrees[j] += 1
+    # Membership set of packed undirected edge keys (min * n + max).
+    edge_keys = {i * n + (i + 1) for i in range(n - 1)}
+    edge_keys.add(n - 1)  # the wrap-around edge (0, n-1)
+    edges = n
+    target_edges = (n * degree) // 2
+    attempts = 0
+    max_attempts = 20 * max(target_edges, 1)
+    randrange = rng.randrange
+    while edges < target_edges and attempts < max_attempts:
+        attempts += 1
+        a = randrange(n)
+        b = randrange(n)
+        if a == b or (a * n + b if a < b else b * n + a) in edge_keys:
+            continue
+        if degrees[a] >= max_degree or degrees[b] >= max_degree:
+            continue
+        edge_keys.add(a * n + b if a < b else b * n + a)
+        edge_a.append(a)
+        edge_b.append(b)
+        degrees[a] += 1
+        degrees[b] += 1
+        edges += 1
+    # Counting-sort the edge list into CSR rows.
+    offsets = array("q", bytes(8 * (n + 1)))
+    for i in range(n):
+        offsets[i + 1] = offsets[i] + degrees[i]
+    neighbors = array("i", bytes(4 * offsets[n]))
+    cursor = array("q", offsets[:n])
+    for a, b in zip(edge_a, edge_b):
+        neighbors[cursor[a]] = b
+        cursor[a] += 1
+        neighbors[cursor[b]] = a
+        cursor[b] += 1
+    return CSRTopology(n=n, offsets=offsets, neighbors=neighbors, degrees=degrees)
+
+
+def synthesize_passive_arrays(
+    n: int, topo: CSRTopology, *, size: int, rng
+) -> tuple[array, array]:
+    """Array-backed :func:`synthesize_passive`: same draws, same views.
+
+    Returns ``(offsets, entries)`` — node ``i``'s passive view is the
+    index slice ``entries[offsets[i]:offsets[i+1]]``.  One small scratch
+    set is reused across nodes; adjacency membership scans the CSR row
+    (degree ≤ the expanded cap, so the scan beats set construction).
+    """
+    offsets = array("q", bytes(8 * (n + 1)))
+    entries = array("i")
+    extend = entries.extend
+    t_offsets = topo.offsets
+    t_neighbors = topo.neighbors
+    randrange = rng.randrange
+    max_attempts = 8 * max(size, 1)
+    view: set[int] = set()
+    for i in range(n):
+        row = t_neighbors[t_offsets[i] : t_offsets[i + 1]]
+        view.clear()
+        want = min(size, max(0, n - 1 - len(row)))
+        attempts = 0
+        while len(view) < want and attempts < max_attempts:
+            attempts += 1
+            p = randrange(n)
+            if p == i or p in row or p in view:
+                continue
+            view.add(p)
+        extend(view)
+        offsets[i + 1] = len(entries)
+    return offsets, entries
+
+
+# ----------------------------------------------------------------------
 # Installation
 # ----------------------------------------------------------------------
 def _require_hyparview(nodes) -> None:
@@ -144,7 +282,11 @@ def synthesize_overlay(nodes, network, *, rng, degree: int | None = None) -> Non
 
     ``nodes`` are already-spawned (fresh, empty-view) HyParView-stack
     nodes; ``rng`` drives the topology draw (derive it from the
-    simulation seed for reproducible overlays).
+    simulation seed for reproducible overlays).  The topology comes from
+    the array-backed synthesizer (flat CSR arrays, DESIGN.md §8) and is
+    wired in bulk: per-node view installation through
+    :meth:`HyParViewNode.install_overlay`'s fresh-node fast path, link
+    registration through one :meth:`Network.register_links_csr` pass.
     """
     _require_hyparview(nodes)
     n = len(nodes)
@@ -159,18 +301,24 @@ def synthesize_overlay(nodes, network, *, rng, degree: int | None = None) -> Non
             f"{hpv.max_active}; size HyParViewConfig.active_size/"
             f"expansion_factor accordingly"
         )
-    adj = synthesize_topology(n, degree=degree, max_degree=hpv.max_active, rng=rng)
-    passive = synthesize_passive(n, adj, size=hpv.passive_size, rng=rng)
+    topo = synthesize_topology_arrays(
+        n, degree=degree, max_degree=hpv.max_active, rng=rng
+    )
+    p_offsets, p_entries = synthesize_passive_arrays(
+        n, topo, size=hpv.passive_size, rng=rng
+    )
     ids = [node.node_id for node in nodes]
+    offsets = topo.offsets
+    neighbors = topo.neighbors
     for i, node in enumerate(nodes):
         node.install_overlay(
-            [ids[j] for j in adj[i]],
-            [ids[j] for j in passive[i]],
+            [ids[j] for j in neighbors[offsets[i] : offsets[i + 1]]],
+            [ids[j] for j in p_entries[p_offsets[i] : p_offsets[i + 1]]],
             register_links=False,
         )
-    network.register_links(
-        (ids[a], ids[b]) for a in range(n) for b in adj[a] if a < b
-    )
+    # The synthesizer emits every edge in both rows by construction
+    # (property-tested), so the symmetry validation pass is skipped.
+    network.register_links_csr(ids, offsets, neighbors, validate=False)
 
 
 # ----------------------------------------------------------------------

@@ -64,6 +64,7 @@ class Testbed:
         bootstrap: "str | object" = "simulated",
         degree: Optional[int] = None,
         validate: bool = False,
+        defer_timers: bool = False,
     ) -> "Testbed":
         """Bootstrap ``n`` nodes into an overlay.
 
@@ -85,7 +86,13 @@ class Testbed:
         ``join_first`` also runs the join procedure for the very first
         node — needed by protocols with an explicit registry (SimpleTree's
         coordinator, TAG's tracker); it is incompatible with synthesized
-        bootstraps, which never touch a registry."""
+        bootstraps, which never touch a registry.
+
+        ``defer_timers`` (synthesized/checkpoint bootstraps only) spawns
+        the nodes with their periodic timers created but not armed, so
+        wiring a 100k-node benchmark overlay schedules zero shuffle
+        events (DESIGN.md §8); arm them later with :meth:`start_timers`
+        if the run needs live shuffles."""
         if n < 1:
             raise ValueError("need at least one node")
         self._factory = factory
@@ -100,7 +107,13 @@ class Testbed:
                     "synthesized/checkpointed bootstrap cannot run registry "
                     "joins (join_first)"
                 )
-            return self._populate_direct(n, factory, bootstrap, degree, validate)
+            return self._populate_direct(
+                n, factory, bootstrap, degree, validate, defer_timers
+            )
+        if defer_timers:
+            # The ramp needs live timers: shuffle integration re-arms
+            # promotion episodes during convergence (DESIGN.md §7).
+            raise ValueError("defer_timers requires a synthesized/checkpoint bootstrap")
         start = 0
         if not self.nodes:
             # Only the very first node of an *empty* testbed stands alone;
@@ -126,6 +139,7 @@ class Testbed:
         bootstrap: "str | object",
         degree: Optional[int],
         validate: bool,
+        defer_timers: bool,
     ) -> "Testbed":
         """Synthesized or checkpoint-restored population (no join ramp)."""
         checkpoint = None
@@ -138,13 +152,22 @@ class Testbed:
                 raise SimulationError(
                     f"checkpoint holds {checkpoint.n} nodes, populate asked for {n}"
                 )
-        spawned = [self.network.spawn(factory) for _ in range(n)]
+        network = self.network
+        if defer_timers:
+            prior = network.autostart_timers
+            network.autostart_timers = False
+            try:
+                spawned = network.spawn_many(factory, n)
+            finally:
+                network.autostart_timers = prior
+        else:
+            spawned = network.spawn_many(factory, n)
         if checkpoint is None:
             bootstrap_mod.synthesize_overlay(
-                spawned, self.network, rng=self.sim.rng("synth-overlay"), degree=degree
+                spawned, network, rng=self.sim.rng("synth-overlay"), degree=degree
             )
         else:
-            bootstrap_mod.install_checkpoint(spawned, self.network, checkpoint)
+            bootstrap_mod.install_checkpoint(spawned, network, checkpoint)
         self.nodes.extend(spawned)
         if validate:
             bootstrap_mod.assert_valid_overlay(spawned)
@@ -154,6 +177,15 @@ class Testbed:
         """Checkpoint the current overlay (active/passive views) to JSON;
         rehydrate with ``populate(n, factory, bootstrap=path)``."""
         bootstrap_mod.save_overlay(self.alive_nodes(), path)
+
+    def start_timers(self) -> "Testbed":
+        """Arm every node's periodic timers — the counterpart of a
+        ``populate(..., defer_timers=True)`` bootstrap when the run does
+        need live shuffles after all.  ``PeriodicTask.start`` is
+        idempotent, so already-armed timers are untouched."""
+        for node in self.nodes:
+            node.start_timers()
+        return self
 
     def stop_shuffles(self) -> "Testbed":
         """Stop every node's passive-view shuffle timer.  Static-overlay

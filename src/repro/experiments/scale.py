@@ -3,9 +3,10 @@
 ``paper`` reproduces the published populations and message counts (§III:
 512 cluster nodes, 150–200 PlanetLab nodes, 500 messages at 5/s, 10 min
 of churn).  ``fast`` shrinks everything shape-preservingly so the whole
-bench suite completes in minutes.  ``large`` (2k) and ``xl`` (10k) go
-beyond the paper for the scale benchmarks enabled by the simulator
-hot-path overhaul.  Select with ``REPRO_SCALE=paper`` etc.
+bench suite completes in minutes.  ``large`` (2k), ``xl`` (10k) and
+``xxl`` (100k) go beyond the paper for the scale benchmarks enabled by
+the simulator hot-path overhaul and the array-backed bootstrap.  Select
+with ``REPRO_SCALE=paper`` etc.
 """
 
 from __future__ import annotations
@@ -105,7 +106,31 @@ XL = Scale(
     join_spacing=0.01,
 )
 
-SCALES = {"paper": PAPER, "fast": FAST, "tiny": TINY, "large": LARGE, "xl": XL}
+#: The 100k rung: only reachable through the array-backed bootstrap
+#: (DESIGN.md §8) — the simulated join ramp is rejected outright at this
+#: population by wall-clock.  Exercised by the nightly CI workflow and
+#: ``REPRO_XXL=1`` benchmark runs, not by per-push CI.
+XXL = Scale(
+    name="xxl",
+    cluster_nodes=100_000,
+    planetlab_nodes=150,
+    planetlab_nodes_large=200,
+    small_nodes=512,
+    messages=10,
+    churn_duration=300.0,
+    churn_period=60.0,
+    settle=60.0,
+    join_spacing=0.01,
+)
+
+SCALES = {
+    "paper": PAPER,
+    "fast": FAST,
+    "tiny": TINY,
+    "large": LARGE,
+    "xl": XL,
+    "xxl": XXL,
+}
 
 
 def get_scale(name: str | None = None) -> Scale:

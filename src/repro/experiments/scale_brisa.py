@@ -123,6 +123,11 @@ def run_scale_brisa(
         join_spacing=join_spacing,
         settle=settle,
         validate=True,
+        # The overlay is static during dissemination, so shuffle timers
+        # are never armed — at xxl populations this is the difference
+        # between spawning 100k nodes and spawning 100k nodes plus 100k
+        # scheduled shuffle events (DESIGN.md §8).
+        defer_timers=bootstrap != "simulated",
     )
     bootstrap_wall = time.perf_counter() - t0
     bed.stop_shuffles()

@@ -34,7 +34,7 @@ from repro.baselines.flood import FloodNode
 from repro.config import HyParViewConfig
 from repro.ids import NodeId
 from repro.sim.engine import Simulator
-from repro.sim.latency import ConstantLatency, LatencyModel
+from repro.sim.latency import ConstantLatency, LatencyModel, OccupancyLatency
 from repro.sim.message import Message
 from repro.sim.monitor import DISSEMINATION, Metrics
 from repro.sim.network import Network
@@ -117,10 +117,14 @@ def build_static_flood_overlay(
     # The static views may exceed HyParView's default cap; size the config
     # so the synthesized wiring is legal under the protocol's own limits.
     hpv = HyParViewConfig(active_size=max(4, degree), passive_size=16)
-    nodes = [net.spawn(lambda network, nid: FloodNode(network, nid, hpv)) for _ in range(n)]
-    if not shuffles:
-        for node in nodes:
-            node._shuffle_task.stop()
+    # Batched materialization (DESIGN.md §8): with shuffles off the
+    # timers are never armed, so spawning schedules zero events.
+    prior = net.autostart_timers
+    net.autostart_timers = shuffles and prior
+    try:
+        nodes = net.spawn_many(lambda network, nid: FloodNode(network, nid, hpv), n)
+    finally:
+        net.autostart_timers = prior
     synthesize_overlay(nodes, net, rng=sim.rng("static-overlay"), degree=degree)
     return sim, net, nodes
 
@@ -359,4 +363,119 @@ def engine_microbench(
         legacy_events_per_sec=legacy[1],
         fast_deliveries_per_sec=fast[0],
         fast_events_per_sec=fast[1],
+    )
+
+
+# ----------------------------------------------------------------------
+# Occupancy microbenchmark: per-message charging vs the fused fan-out
+# ----------------------------------------------------------------------
+@dataclass
+class OccupancyMicrobenchResult:
+    """Same-machine fan-out throughput under an occupancy-charging model:
+    the per-message queueing chain vs the fused path (DESIGN.md §8)."""
+
+    fanout: int
+    rounds: int
+    per_message_deliveries_per_sec: float
+    per_message_events_per_sec: float
+    fused_deliveries_per_sec: float
+    fused_events_per_sec: float
+
+    @property
+    def speedup(self) -> float:
+        """Delivery-event throughput ratio (the acceptance metric)."""
+        return self.fused_deliveries_per_sec / max(
+            self.per_message_deliveries_per_sec, 1e-9
+        )
+
+    def to_dict(self) -> dict:
+        d = asdict(self)
+        d["speedup"] = self.speedup
+        return d
+
+    def summary(self) -> str:
+        return "\n".join(
+            [
+                f"workload: {self.rounds} rounds x fanout {self.fanout} "
+                f"(occupancy-charging latency)",
+                f"per-message path: {self.per_message_deliveries_per_sec:,.0f} "
+                f"deliveries/s ({self.per_message_events_per_sec:,.0f} heap events/s)",
+                f"fused fan-out:    {self.fused_deliveries_per_sec:,.0f} "
+                f"deliveries/s ({self.fused_events_per_sec:,.0f} heap events/s)",
+                f"speedup: {self.speedup:.2f}x",
+            ]
+        )
+
+
+def occupancy_microbench(
+    rounds: int = 20_000, fanout: int = 5, nodes: int = 512, *, seed: int = 7,
+    repeats: int = 3,
+) -> OccupancyMicrobenchResult:
+    """Measure the per-message occupancy chain against the fused fan-out.
+
+    Both sides run the identical workload — ``rounds`` fan-outs of
+    ``fanout`` 1 KB messages over ``nodes`` sinks under the same
+    receive-bound :class:`OccupancyLatency` — and produce bit-identical
+    delivery schedules (the fused path is an exact-arithmetic
+    reformulation, pinned by tests).  Receiver sets rotate disjointly and
+    the pacing lets each receive horizon drain between hits, matching
+    the scale scenarios' regime (per-message occupancy far below the
+    stream inter-arrival time) where a fan-out's queue completions
+    coincide and fuse.  The per-message side is the pre-overhaul idiom
+    preserved in :class:`_LegacyNetwork`: one message per peer, one
+    accounting call per send, a fresh handle per event and the full
+    ``send → _deliver → _process`` chain.  The best of ``repeats`` runs
+    is kept per side."""
+    half = nodes // 2
+
+    def model() -> OccupancyLatency:
+        # Receive-bound occupancy: the buffer-occupancy regime where the
+        # fused path's one-event fan-outs matter most.
+        return OccupancyLatency(0.001, tx_overhead=0.0, rx_overhead=0.0005, seed=seed)
+
+    def run_per_message() -> tuple[float, float]:
+        sim = Simulator(seed=seed)
+        net = _LegacyNetwork(sim, model(), Metrics(record_deliveries=False))
+        for i in range(nodes):
+            net.nodes[i] = _SinkNode(i)
+
+        def fan_out(src: NodeId, base: int) -> None:
+            for k in range(fanout):
+                net.send(src, half + (base + k) % half, _BenchPayload(base))
+
+        for r in range(rounds):
+            sim.schedule_at(r * 1e-4, fan_out, r % half, (r * fanout) % half)
+        t0 = time.perf_counter()
+        sim.run_until_idle()
+        wall = max(time.perf_counter() - t0, 1e-9)
+        delivered = sum(s.received for s in net.nodes.values())
+        return delivered / wall, sim.events_processed / wall
+
+    def run_fused() -> tuple[float, float]:
+        sim = Simulator(seed=seed)
+        net = Network(sim, model(), Metrics(record_deliveries=False))
+        for i in range(nodes):
+            net.nodes[i] = _SinkNode(i)  # type: ignore[assignment]
+
+        def fan_out(src: NodeId, base: int) -> None:
+            dsts = [half + (base + k) % half for k in range(fanout)]
+            net.send_many(src, dsts, _BenchPayload(base))
+
+        for r in range(rounds):
+            sim.call_at(r * 1e-4, fan_out, r % half, (r * fanout) % half)
+        t0 = time.perf_counter()
+        sim.run_until_idle()
+        wall = max(time.perf_counter() - t0, 1e-9)
+        delivered = sum(s.received for s in net.nodes.values())  # type: ignore[union-attr]
+        return delivered / wall, sim.events_processed / wall
+
+    per_message = max((run_per_message() for _ in range(repeats)), key=lambda t: t[0])
+    fused = max((run_fused() for _ in range(repeats)), key=lambda t: t[0])
+    return OccupancyMicrobenchResult(
+        fanout=fanout,
+        rounds=rounds,
+        per_message_deliveries_per_sec=per_message[0],
+        per_message_events_per_sec=per_message[1],
+        fused_deliveries_per_sec=fused[0],
+        fused_events_per_sec=fused[1],
     )

@@ -40,7 +40,7 @@ from repro.experiments.robustness import (
     fig14_recovery,
     table1_churn,
 )
-from repro.experiments.scale import FAST, LARGE, PAPER, XL, Scale, get_scale
+from repro.experiments.scale import FAST, LARGE, PAPER, XL, XXL, Scale, get_scale
 from repro.experiments.scale_brisa import (
     BootstrapComparison,
     ScaleBrisaResult,
@@ -49,9 +49,11 @@ from repro.experiments.scale_brisa import (
 )
 from repro.experiments.scale_flood import (
     MicrobenchResult,
+    OccupancyMicrobenchResult,
     ScaleFloodResult,
     build_static_flood_overlay,
     engine_microbench,
+    occupancy_microbench,
     run_scale_flood,
 )
 from repro.experiments.structural import (
@@ -75,15 +77,18 @@ __all__ = [
     "Fig9Result",
     "LARGE",
     "MicrobenchResult",
+    "OccupancyMicrobenchResult",
     "PAPER",
     "Scale",
     "ScaleBrisaResult",
     "ScaleFloodResult",
     "XL",
+    "XXL",
     "StructureDistributions",
     "bootstrap_comparison",
     "build_static_flood_overlay",
     "engine_microbench",
+    "occupancy_microbench",
     "run_scale_brisa",
     "run_scale_flood",
     "Table1Result",

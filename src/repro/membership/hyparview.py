@@ -93,7 +93,26 @@ class HyParViewNode(PeerSamplingNode):
         entries subject to the usual exclusion rules.  ``register_links=
         False`` lets a bulk bootstrap register all TCP links in one
         :meth:`Network.register_links` pass instead of twice per edge.
+
+        A fresh node (both views empty — the bulk-bootstrap case) takes
+        a batched path: the views are built with the bulk constructors
+        instead of per-peer inserts, leaving only the neighbour-up
+        notifications as per-peer work (DESIGN.md §8).
         """
+        if not self.active and not self.passive:
+            fresh = dict.fromkeys(active)
+            fresh.pop(self.node_id, None)
+            self.active = fresh
+            if register_links:
+                register = self.network.register_link
+                for peer in fresh:
+                    register(self.node_id, peer)
+            for peer in fresh:
+                self._notify_up(peer)
+            self.passive = {
+                p for p in passive if p != self.node_id and p not in fresh
+            }
+            return
         for peer in active:
             if peer == self.node_id or peer in self.active:
                 continue

@@ -261,6 +261,12 @@ class PeriodicTask:
     ``start()`` after a ``stop()`` behaves exactly like the first start,
     including the ``start_delay`` override.  ``stop()`` called from inside
     ``fn()`` during a firing suppresses the re-schedule.
+
+    ``rng`` may be an RNG instance or a zero-argument provider returning
+    one; a provider is resolved on the first jittered delay draw.  Nodes
+    pass a provider so a task that never starts (deferred-timer bulk
+    bootstrap, DESIGN.md §8) never forces its node's RNG stream into
+    existence.
     """
 
     def __init__(
@@ -288,8 +294,11 @@ class PeriodicTask:
 
     def _next_delay(self) -> float:
         if self.jitter and self.rng is not None:
+            rng = self.rng
+            if not hasattr(rng, "uniform"):
+                rng = self.rng = rng()
             spread = self.period * self.jitter
-            return self.period + self.rng.uniform(-spread, spread)
+            return self.period + rng.uniform(-spread, spread)
         return self.period
 
     def start(self) -> "PeriodicTask":

@@ -41,6 +41,13 @@ class LatencyModel(ABC):
     #: for every pair and every draw; lets the network fuse a whole
     #: fan-out (identical arrival times) into one heap event.
     uniform_delay: float | None = None
+    #: Tri-state override for :meth:`occupancy_batchable`.  ``None``
+    #: (default) auto-detects: un-overridden ``tx_cost``/``rx_cost`` are
+    #: pure functions of ``(node, size)``, overrides are conservatively
+    #: treated as sampled (same policy as :meth:`zero_cost`).  A subclass
+    #: whose overrides are deterministic sets this True to keep the fused
+    #: fan-out charging (DESIGN.md §8).
+    deterministic_occupancy: bool | None = None
 
     def __init__(self, seed: int = 0) -> None:
         self.seed = seed
@@ -88,6 +95,23 @@ class LatencyModel(ABC):
             and self.proc_overhead == 0.0
         )
 
+    def occupancy_batchable(self) -> bool:
+        """True when ``tx_cost``/``rx_cost`` draw no per-call randomness,
+        so the network may charge a whole fan-out's occupancy in one
+        pass over the sender's horizon (DESIGN.md §8).
+
+        Probed once at :class:`Network` construction.  A subclass
+        overriding the cost methods is conservatively treated as sampled
+        (falling back to per-message charging — correct, just slower)
+        unless it declares ``deterministic_occupancy = True``.
+        """
+        if self.deterministic_occupancy is not None:
+            return self.deterministic_occupancy
+        return (
+            type(self).tx_cost is LatencyModel.tx_cost
+            and type(self).rx_cost is LatencyModel.rx_cost
+        )
+
 
 class ConstantLatency(LatencyModel):
     """Fixed one-way delay; the unit-test workhorse."""
@@ -101,6 +125,62 @@ class ConstantLatency(LatencyModel):
 
     def expected_owd(self, src: NodeId, dst: NodeId) -> float:
         return self.delay
+
+
+class OccupancyLatency(LatencyModel):
+    """Constant propagation delay plus deterministic occupancy charges.
+
+    The controlled counterpart of :class:`ConstantLatency` for the
+    occupancy-charging regime (the realistic cost model of Figs. 10–12
+    and of buffer-occupancy epidemic routing studies): propagation is a
+    fixed ``delay`` (so ``uniform_delay`` stays set and fan-outs can
+    fuse), while sending/receiving charges the node's single occupancy
+    horizon.  ``tx_overhead``/``rx_overhead`` split the per-message
+    processing cost by direction — the default charges receive
+    processing only, modelling a node whose bottleneck is handling
+    inbound messages (the regime where flooding melts down first); add
+    ``node_bandwidth`` for NIC serialization in both directions.
+    """
+
+    #: The overridden costs below are pure in ``(node, size)``.
+    deterministic_occupancy = True
+
+    def __init__(
+        self,
+        delay: float = 0.001,
+        *,
+        tx_overhead: float = 0.0,
+        rx_overhead: float = 0.0005,
+        node_bandwidth: float | None = None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(seed)
+        if delay < 0:
+            raise ValueError("delay must be >= 0")
+        if tx_overhead < 0 or rx_overhead < 0:
+            raise ValueError("occupancy overheads must be >= 0")
+        if node_bandwidth is not None and node_bandwidth <= 0:
+            raise ValueError("node_bandwidth must be positive (or None)")
+        self.delay = delay
+        self.uniform_delay = delay
+        self.tx_overhead = tx_overhead
+        self.rx_overhead = rx_overhead
+        self.node_bandwidth = node_bandwidth
+
+    def expected_owd(self, src: NodeId, dst: NodeId) -> float:
+        return self.delay
+
+    def tx_cost(self, node: NodeId, size_bytes: int) -> float:
+        cost = self.tx_overhead
+        if self.node_bandwidth:
+            cost += size_bytes / self.node_bandwidth
+        return cost
+
+    def rx_cost(self, node: NodeId, size_bytes: int) -> float:
+        cost = self.rx_overhead
+        if self.node_bandwidth:
+            cost += size_bytes / self.node_bandwidth
+        return cost
 
 
 class ClusterLatency(LatencyModel):
@@ -169,6 +249,9 @@ class PlanetLabLatency(LatencyModel):
     node_bandwidth = 200_000.0
     #: Per-message processing on an oversubscribed host.
     proc_overhead = 0.003
+    #: The overridden costs below are pure in ``(node, size)`` — the
+    #: per-node slowness factor is derived deterministically and cached.
+    deterministic_occupancy = True
 
     def __init__(
         self,

@@ -18,8 +18,16 @@ Delivery hot path (DESIGN.md §2): with a zero-occupancy latency model
 processing cost) the ``send → _deliver → _process`` chain collapses into
 a single pooled fire-and-forget event per message, and fan-out sends
 share one message instance and one batched accounting call through
-:meth:`send_many`.  Models with occupancy costs keep the full queueing
-chain.
+:meth:`send_many`.
+
+Occupancy-charging models no longer fall all the way back to the
+per-message queueing chain (DESIGN.md §8): when the model's costs are
+deterministic (``LatencyModel.deterministic_occupancy``), a fan-out's
+transmission charges are applied to the sender's horizon in one pass —
+single horizon read, one ``tx_cost`` probe, arrival times rolled forward
+locally — and when the sender side is free and propagation is uniform,
+the whole fan-out rides one heap event that batches the receiver-side
+queue charges too.
 """
 
 from __future__ import annotations
@@ -69,6 +77,11 @@ class Network:
         self._capacities: dict[NodeId, float] = {}
         #: Observers called as fn(node_id) after a crash is applied.
         self.crash_listeners: list[Callable[[NodeId], None]] = []
+        #: When False, ``ProtocolNode.periodic`` creates timers without
+        #: arming them — the bulk-bootstrap path flips this off while
+        #: spawning so wiring 100k nodes schedules zero shuffle events
+        #: (DESIGN.md §8).  Deferred tasks are armed via ``task.start()``.
+        self.autostart_timers: bool = True
         #: Per-node occupancy horizon: one shared CPU/NIC queue per node.
         #: Sends and receive-processing serialize against each other —
         #: the single-core model that makes duplicate processing delay a
@@ -78,6 +91,9 @@ class Network:
         #: take the single-event fused path (decided once — occupancy is a
         #: static property of the model, not of simulation state).
         self._fast_delivery = self.latency.zero_cost()
+        #: True when occupancy costs are deterministic: fan-outs charge
+        #: the sender horizon in one pass (DESIGN.md §8; decided once).
+        self._batch_occupancy = self.latency.occupancy_batchable()
         #: Messages between one ordered pair ride one TCP connection, so
         #: delivery must be FIFO.  Models with per-message sampled jitter
         #: can invert two sends otherwise — e.g. a Deactivate overtaken by
@@ -107,6 +123,31 @@ class Network:
         """Allocate an id, build a node with ``factory`` and register it."""
         nid = self.allocate_id()
         return self.add_node(factory(self, nid))
+
+    def spawn_many(
+        self, factory: Callable[["Network", NodeId], ProtocolNode], count: int
+    ) -> list[ProtocolNode]:
+        """Batched :meth:`spawn`: allocate ``count`` consecutive ids and
+        register the factory-built nodes in one registry walk.
+
+        Semantically ``[self.spawn(factory) for _ in range(count)]`` with
+        the per-call indirection (id allocation, duplicate check, method
+        dispatch) hoisted out of the loop — the node-materialization leg
+        of the array-backed bootstrap (DESIGN.md §8)."""
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        nodes = self.nodes
+        spawned: list[ProtocolNode] = []
+        append = spawned.append
+        for _ in range(count):
+            nid = self._next_id
+            self._next_id = nid + 1
+            node = factory(self, nid)
+            if node.node_id in nodes:
+                raise SimulationError(f"node id {node.node_id} already registered")
+            nodes[node.node_id] = node
+            append(node)
+        return spawned
 
     def alive(self, node_id: NodeId) -> bool:
         node = self.nodes.get(node_id)
@@ -193,6 +234,60 @@ class Network:
             notified_discard((b, a))
             count += 1
         return count
+
+    def register_links_csr(self, ids, offsets, neighbors, *, validate: bool = True) -> int:
+        """Bulk-register a whole symmetric CSR adjacency (array-backed
+        bootstrap, DESIGN.md §8).
+
+        ``offsets``/``neighbors`` describe row ``i`` as the index slice
+        ``neighbors[offsets[i]:offsets[i+1]]``; entries are *indices into*
+        ``ids``, which maps them to node ids.  The adjacency must be
+        symmetric (every edge in both rows); with ``validate`` (the
+        default) this is checked *before* any mutation, so a bad input
+        cannot leave half-registered one-directional links behind.  A
+        caller whose adjacency is symmetric by construction (the
+        synthesizer — property-tested) may skip the O(edges) pass.
+        Each undirected link is covered by building one peer set per
+        node instead of two dict round trips per edge.  Returns the
+        number of undirected edges registered."""
+        n = len(ids)
+        # One id-mapped peer set per node, shared by the validation pass
+        # and the registration loop below.
+        rows: list[set[NodeId]] = [
+            {ids[j] for j in neighbors[offsets[i] : offsets[i + 1]]}
+            for i in range(n)
+        ]
+        # Self-links are rejected before any mutation on both paths; the
+        # O(edges) symmetry pass is what ``validate=False`` skips.
+        for i, nid in enumerate(ids):
+            if nid in rows[i]:
+                raise SimulationError("cannot link a node to itself")
+        if validate:
+            for i, nid in enumerate(ids):
+                for j in neighbors[offsets[i] : offsets[i + 1]]:
+                    if nid not in rows[j]:
+                        raise SimulationError(
+                            f"CSR adjacency is not symmetric: edge "
+                            f"({nid}, {ids[j]}) has no reverse entry"
+                        )
+        links = self.links
+        notified = self._notified
+        total = 0
+        for i, peers in enumerate(rows):
+            if not peers:
+                continue
+            nid = ids[i]
+            existing = links.get(nid)
+            if existing is None:
+                links[nid] = peers
+            else:
+                existing |= peers
+            total += len(peers)
+            if notified:
+                for peer in peers:
+                    notified.discard((nid, peer))
+                    notified.discard((peer, nid))
+        return total // 2
 
     def unregister_link(self, a: NodeId, b: NodeId) -> None:
         self._unlink(a, b)
@@ -320,7 +415,47 @@ class Network:
                 clamp = self._fifo_clamp
                 for dst in targets:
                     call_at(clamp(src, dst, now + sample(src, dst)), deliver, src, dst, msg, size)
+        elif self._batch_occupancy:
+            # Occupancy-fused fan-out (DESIGN.md §8): every transmission
+            # of the batch lands on the same sender horizon, so the
+            # charges are applied in one pass — a single horizon read,
+            # one tx_cost probe, arrival times rolled forward in a local
+            # — instead of a per-message _enqueue_tx round trip each.
+            latency = self.latency
+            now = sim.now
+            tx_cost = latency.tx_cost(src, size)
+            uniform = latency.uniform_delay
+            call_at = sim.call_at
+            deliver = self._deliver
+            if tx_cost <= 0.0:
+                if uniform is not None:
+                    # Free sender + uniform propagation: all arrivals
+                    # coincide, so the whole fan-out rides one heap event
+                    # that also batches the receiver-side queue charges.
+                    call_at(now + uniform, self._deliver_occ_fan, src, targets, msg, size)
+                else:
+                    sample = latency.sample
+                    clamp = self._fifo_clamp
+                    for dst in targets:
+                        call_at(clamp(src, dst, now + sample(src, dst)), deliver, src, dst, msg, size)
+            else:
+                busy = self._busy.get(src, now)
+                tx_done = busy if busy > now else now
+                if uniform is not None:
+                    # Arrivals strictly increase in send order: FIFO by
+                    # construction, one heap push per distinct arrival.
+                    for dst in targets:
+                        tx_done += tx_cost
+                        call_at(tx_done + uniform, deliver, src, dst, msg, size)
+                else:
+                    sample = latency.sample
+                    clamp = self._fifo_clamp
+                    for dst in targets:
+                        tx_done += tx_cost
+                        call_at(clamp(src, dst, tx_done + sample(src, dst)), deliver, src, dst, msg, size)
+                self._busy[src] = tx_done
         else:
+            # Sampled per-message occupancy costs: full queueing chain.
             clamp = self._fifo_clamp if self._fifo_order else None
             for dst in targets:
                 arrival = self._enqueue_tx(src, size) + self.latency.sample(src, dst)
@@ -348,6 +483,69 @@ class Network:
             node = nodes.get(dst)
             if node is None or not node.alive:
                 self._drop(src, dst)
+                continue
+            account(dst, size)
+            node.handle_message(src, msg)
+
+    def _deliver_occ_fan(self, src: NodeId, dsts: list[NodeId], msg: Message, size: int) -> None:
+        """One event delivering a same-arrival occupancy fan-out: the
+        receiver-side queue charges are applied in one walk instead of
+        one ``_deliver`` event per message, and runs of recipients whose
+        processing completes at the *same* instant (uniform rx cost,
+        free horizons — the common benchmark regime) share one
+        ``_process_fan`` event (DESIGN.md §8)."""
+        nodes = self.nodes
+        latency = self.latency
+        busy = self._busy
+        sim = self.sim
+        now = sim.now
+        call_at = sim.call_at
+        account = self.metrics.account_receive
+        group: list[NodeId] = []
+        group_ready = 0.0
+        for dst in dsts:
+            node = nodes.get(dst)
+            if node is None or not node.alive:
+                self._drop(src, dst)
+                continue
+            rx_cost = latency.rx_cost(dst, size)
+            if rx_cost > 0.0:
+                b = busy.get(dst, now)
+                ready = (b if b > now else now) + rx_cost
+                busy[dst] = ready
+                if ready == group_ready:
+                    group.append(dst)
+                else:
+                    if group:
+                        self._push_process(group_ready, src, group, msg, size)
+                    group = [dst]
+                    group_ready = ready
+            else:
+                account(dst, size)
+                node.handle_message(src, msg)
+        if group:
+            self._push_process(group_ready, src, group, msg, size)
+
+    def _push_process(
+        self, ready: float, src: NodeId, dsts: list[NodeId], msg: Message, size: int
+    ) -> None:
+        """Schedule one receive-queue completion for a same-ready run."""
+        if len(dsts) == 1:
+            self.sim.call_at(ready, self._process, src, dsts[0], msg, size)
+        else:
+            self.sim.call_at(ready, self._process_fan, src, dsts, msg, size)
+
+    def _process_fan(self, src: NodeId, dsts: list[NodeId], msg: Message, size: int) -> None:
+        """Batched :meth:`_process`: one event for a same-instant run of
+        receive-queue completions from one fan-out."""
+        nodes = self.nodes
+        account = self.metrics.account_receive
+        incr = self.metrics.incr
+        for dst in dsts:
+            node = nodes.get(dst)
+            if node is None or not node.alive:
+                # Crashed while the message sat in its receive queue.
+                incr("dropped")
                 continue
             account(dst, size)
             node.handle_message(src, msg)

@@ -27,7 +27,19 @@ class ProtocolNode:
         self.alive = True
         self.birth_time = self.sim.now
         self._tasks: list[PeriodicTask] = []
-        self._rng = self.sim.rng("node", node_id, type(self).__name__)
+
+    def __getattr__(self, name: str):
+        # ``_rng`` is materialized on first use: deriving a per-node RNG
+        # stream costs a SHA-256 plus a ``random.Random`` construction,
+        # which the bulk bootstrap of 100k-node scenarios never needs for
+        # nodes that stay on deterministic code paths (DESIGN.md §8).
+        if name == "_rng":
+            rng = self.sim.rng("node", self.node_id, type(self).__name__)
+            self._rng = rng
+            return rng
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )
 
     # ------------------------------------------------------------------
     # Identity / introspection
@@ -84,17 +96,28 @@ class ProtocolNode:
             if self.alive:
                 fn()
 
+        # The RNG is handed over as a lazy provider so an unstarted task
+        # (deferred-timer bootstrap) never materializes the node's stream.
         task = PeriodicTask(
-            self.sim, period, guarded, jitter=jitter, rng=self._rng,
+            self.sim, period, guarded, jitter=jitter, rng=lambda: self._rng,
             start_delay=start_delay,
         )
         self._tasks.append(task)
-        task.start()
+        if getattr(self.network, "autostart_timers", True):
+            task.start()
         return task
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
+    def start_timers(self) -> None:
+        """Arm every periodic timer created while timer autostart was
+        deferred (bulk bootstrap, DESIGN.md §8).  Idempotent — already-
+        running tasks are untouched — and the counterpart of the stop in
+        :meth:`on_crash`, which owns the same task list."""
+        for task in self._tasks:
+            task.start()
+
     def on_crash(self) -> None:
         """Called by the network when this node fails; stops all timers."""
         self.alive = False

@@ -1,0 +1,133 @@
+"""Tests for the bench-compare CI gate (benchmarks/compare_bench.py)."""
+
+import importlib.util
+import json
+import pathlib
+
+spec = importlib.util.spec_from_file_location(
+    "compare_bench",
+    pathlib.Path(__file__).parent.parent / "benchmarks" / "compare_bench.py",
+)
+compare_bench = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(compare_bench)
+
+
+def write(path: pathlib.Path, payload: dict) -> None:
+    path.write_text(json.dumps(payload))
+
+
+def scale_payload(*, events=200_000, deliveries=199_980, fraction=1.0,
+                  speedup=2.8, occ_speedup=2.9) -> dict:
+    return {
+        "scale_run": {
+            "events": events,
+            "deliveries": deliveries,
+            "delivered_fraction": fraction,
+        },
+        "microbench": {"speedup": speedup},
+        "occupancy_microbench": {"speedup": occ_speedup},
+    }
+
+
+def test_identical_artifacts_pass(tmp_path):
+    base, cand = tmp_path / "base", tmp_path / "cand"
+    base.mkdir(), cand.mkdir()
+    write(base / "BENCH_scale.json", scale_payload())
+    write(cand / "BENCH_scale.json", scale_payload())
+    assert compare_bench.main(["--candidate", str(cand), "--baseline", str(base)]) == 0
+
+
+def test_regression_beyond_tolerance_fails(tmp_path, capsys):
+    base, cand = tmp_path / "base", tmp_path / "cand"
+    base.mkdir(), cand.mkdir()
+    write(base / "BENCH_scale.json", scale_payload())
+    # Deliveries collapse by half: far beyond the 30% tolerance.
+    write(cand / "BENCH_scale.json", scale_payload(deliveries=99_000))
+    assert compare_bench.main(["--candidate", str(cand), "--baseline", str(base)]) == 1
+    assert "deliveries" in capsys.readouterr().out
+
+
+def test_event_count_growth_is_a_regression(tmp_path):
+    base, cand = tmp_path / "base", tmp_path / "cand"
+    base.mkdir(), cand.mkdir()
+    write(base / "BENCH_scale.json", scale_payload())
+    # 'lower' direction: a 2x event-count blowup must fail.
+    write(cand / "BENCH_scale.json", scale_payload(events=400_000))
+    assert compare_bench.main(["--candidate", str(cand), "--baseline", str(base)]) == 1
+
+
+def test_within_tolerance_passes(tmp_path):
+    base, cand = tmp_path / "base", tmp_path / "cand"
+    base.mkdir(), cand.mkdir()
+    write(base / "BENCH_scale.json", scale_payload())
+    write(
+        cand / "BENCH_scale.json",
+        scale_payload(events=210_000, deliveries=180_000, speedup=2.0),
+    )
+    assert compare_bench.main(["--candidate", str(cand), "--baseline", str(base)]) == 0
+
+
+def test_ratio_metrics_get_wider_tolerance(tmp_path):
+    base, cand = tmp_path / "base", tmp_path / "cand"
+    base.mkdir(), cand.mkdir()
+    write(base / "BENCH_scale.json", scale_payload(speedup=2.8))
+    # 2.8 -> 1.3 is ~54% down: within the 60% ratio tolerance for
+    # shared-runner throttling, even though far beyond the default 30%.
+    write(cand / "BENCH_scale.json", scale_payload(speedup=1.3))
+    assert compare_bench.main(["--candidate", str(cand), "--baseline", str(base)]) == 0
+    write(cand / "BENCH_scale.json", scale_payload(speedup=1.0))
+    assert compare_bench.main(["--candidate", str(cand), "--baseline", str(base)]) == 1
+
+
+def test_optional_entries_are_skipped_when_absent(tmp_path, capsys):
+    base, cand = tmp_path / "base", tmp_path / "cand"
+    base.mkdir(), cand.mkdir()
+    payload = scale_payload()
+    payload["xxl"] = {"delivered_fraction": 1.0, "events": 1_000_000}
+    write(base / "BENCH_scale.json", payload)
+    # PR CI artifacts carry no xxl entry (nightly-only): skipped, not failed.
+    write(cand / "BENCH_scale.json", scale_payload())
+    assert compare_bench.main(["--candidate", str(cand), "--baseline", str(base)]) == 0
+    assert "xxl.delivered_fraction absent" in capsys.readouterr().out
+
+
+def test_missing_files_are_skipped(tmp_path, capsys):
+    base, cand = tmp_path / "base", tmp_path / "cand"
+    base.mkdir(), cand.mkdir()
+    write(base / "BENCH_scale.json", scale_payload())
+    assert compare_bench.main(["--candidate", str(cand), "--baseline", str(base)]) == 0
+    assert "no candidate artifact" in capsys.readouterr().out
+
+
+def test_prune_xxl_strips_stale_nightly_entries(tmp_path, capsys):
+    out = tmp_path / "out"
+    out.mkdir()
+    payload = scale_payload()
+    payload["xxl"] = {"delivered_fraction": 1.0, "events": 1_000_000}
+    write(out / "BENCH_scale.json", payload)
+    assert compare_bench.main(["--prune-xxl", str(out)]) == 0
+    pruned = json.loads((out / "BENCH_scale.json").read_text())
+    assert "xxl" not in pruned
+    assert pruned["scale_run"] == payload["scale_run"]
+    assert "pruned" in capsys.readouterr().out
+    # Idempotent on files with no xxl entry.
+    assert compare_bench.main(["--prune-xxl", str(out)]) == 0
+
+
+def test_structure_completeness_gate(tmp_path):
+    base, cand = tmp_path / "base", tmp_path / "cand"
+    base.mkdir(), cand.mkdir()
+    brisa = {
+        "scale_run": {
+            "delivered_fraction": 1.0,
+            "duplicates_per_node": 5.0,
+            "events": 300_000,
+            "structure_complete": True,
+        },
+        "bootstrap": {"speedup": 30.0},
+    }
+    write(base / "BENCH_scale_brisa.json", brisa)
+    broken = json.loads(json.dumps(brisa))
+    broken["scale_run"]["structure_complete"] = False
+    write(cand / "BENCH_scale_brisa.json", broken)
+    assert compare_bench.main(["--candidate", str(cand), "--baseline", str(base)]) == 1
