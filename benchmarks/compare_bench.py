@@ -43,8 +43,13 @@ GATED_METRICS: dict[str, list[tuple[str, str, float | None]]] = {
         ("scale_run.events", "lower", None),
         ("microbench.speedup", "higher", RATIO_TOLERANCE),
         ("occupancy_microbench.speedup", "higher", RATIO_TOLERANCE),
+        ("slotted_microbench.speedup", "higher", RATIO_TOLERANCE),
+        ("churn.delivered_fraction", "higher", None),
+        ("churn.deliveries", "higher", None),
+        ("churn.events", "lower", None),
         ("xxl.delivered_fraction", "higher", None),
         ("xxl.events", "lower", None),
+        ("xxl_churn.delivered_fraction", "higher", None),
     ],
     "BENCH_scale_brisa.json": [
         ("scale_run.delivered_fraction", "higher", None),
@@ -148,9 +153,10 @@ def main(argv: list[str] | None = None) -> int:
             if not path.exists():
                 continue
             data = json.loads(path.read_text())
-            if data.pop("xxl", None) is not None:
+            pruned = [key for key in ("xxl", "xxl_churn") if data.pop(key, None) is not None]
+            if pruned:
                 path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
-                print(f"{name}: pruned stale xxl entry")
+                print(f"{name}: pruned stale {', '.join(pruned)} entr{'y' if len(pruned) == 1 else 'ies'}")
         return 0
     if args.candidate is None:
         parser.error("--candidate is required (unless --prune-xxl)")

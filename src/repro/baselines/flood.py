@@ -5,9 +5,27 @@ propagates it to all its other neighbors."  No deactivation, no structure:
 every overlay link carries every message in at least one direction, which
 is what produces the duplicate distributions of Fig. 2 — the motivation
 BRISA starts from.
+
+Two delivery kernels implement that rule behind the same :class:`Network`
+API (DESIGN.md §9):
+
+- :class:`FloodNode` — the readable reference implementation: per-node
+  Python object state (``delivered`` dict-of-sets, per-reception
+  ``Metrics.record_delivery`` bookkeeping).
+- :class:`SlottedFloodNode` + :class:`SlottedFloodKernel` — the scale
+  kernel: delivery state lives in flat arrays indexed by a dense node
+  *slot* (seen byte-maps per sequence number, delivered/duplicate
+  counters, payload-byte totals) shared by all nodes of a run, with
+  per-slot fan-out rows maintained from membership notifications and
+  bulk-installable from PR 3's CSR topology arrays.  Draw-for-draw
+  equivalent to the object path — same delivery sets, duplicate counts,
+  byte totals and timestamps under zero-cost and occupancy-charging
+  latency models — pinned by tests/test_slotted_parity.py.
 """
 
 from __future__ import annotations
+
+from array import array
 
 from repro.config import HyParViewConfig
 from repro.ids import SEQ_BYTES, NodeId, StreamId
@@ -108,3 +126,360 @@ class FloodNode(HyParViewNode):
     def on_crash(self) -> None:
         super().on_crash()
         self.delivered.clear()
+
+
+# ----------------------------------------------------------------------
+# Slotted delivery kernel (DESIGN.md §9)
+# ----------------------------------------------------------------------
+#: Seen-map cell states.  ``_INJECTED`` marks a sequence the node itself
+#: injected (locally delivered, but not yet a *recorded reception* — the
+#: source's first echo from a neighbour still counts as a first delivery,
+#: matching ``Metrics.record_delivery`` semantics in the object path).
+_UNSEEN, _INJECTED, _RECEIVED = 0, 1, 2
+
+
+class SlottedFloodKernel:
+    """Flat-array delivery state shared by every :class:`SlottedFloodNode`.
+
+    At xxl populations the dissemination cost is per-delivery Python
+    handler work, not the engine: every reception walks ``delivered``
+    dict-of-sets plus the ``Metrics.record_delivery`` nested dicts.  This
+    kernel replaces all of it with arrays indexed by a dense *slot*:
+
+    - one ``bytearray`` per (stream, seq) — the seen map, one cell per
+      slot (``_UNSEEN``/``_INJECTED``/``_RECEIVED``);
+    - ``delivered`` / ``duplicates`` / ``payload_bytes`` — per-slot
+      counters (``array('q')``);
+    - ``fanout_rows`` — per-slot peer-id lists mirroring the node's
+      active view in insertion order, maintained from membership
+      notifications and bulk-installable from a :class:`CSRTopology`.
+
+    Slots are recycled through a free list: :meth:`release` (called from
+    ``SlottedFloodNode.on_crash``, i.e. under :meth:`Network.crash`)
+    zeroes every per-slot cell before the slot can be handed to a churn
+    joiner, so a recycled slot starts exactly like a fresh object node.
+
+    When the run's :class:`Metrics` records deliveries (small/parity
+    runs), the kernel mirrors every reception into
+    ``Metrics.record_delivery`` exactly like the object path, so delivery
+    records — timestamps, senders, hops, path delays — are directly
+    comparable.  At scale (``record_deliveries=False``) the arrays are
+    authoritative and the per-reception dict work disappears entirely.
+    """
+
+    def __init__(self, network) -> None:
+        self.network = network
+        self.sim = network.sim
+        self.metrics = network.metrics
+        #: Mirror receptions into Metrics (parity/record mode)?
+        self._mirror = network.metrics.record_deliveries
+        self.slot_of: dict[NodeId, int] = {}
+        self._free: list[int] = []
+        self.capacity = 0
+        #: Distinct sequence numbers delivered per slot (injections
+        #: included), across all streams — ``FloodNode.delivered`` sizes.
+        self.delivered = array("q")
+        #: Duplicate receptions per slot (``Metrics.duplicates`` semantics).
+        self.duplicates = array("q")
+        #: Payload bytes of first-time receptions per slot.
+        self.payload_bytes = array("q")
+        #: Wire bytes received per slot on the fan-sink path (the slotted
+        #: stand-in for ``Metrics.bytes_received`` at scale; in mirror
+        #: mode Metrics is fed too and the two agree).
+        self.rx_bytes = array("q")
+        #: Per-slot live peer ids, in active-view insertion order.
+        self.fanout_rows: list[list[NodeId]] = []
+        #: While True, membership notifications skip per-peer row
+        #: appends — a bulk bootstrap builds the rows in one
+        #: :meth:`install_rows` pass over the CSR arrays instead.
+        self.bulk_rows = False
+        #: stream -> seen maps indexed by seq; one byte cell per slot.
+        self._seen: dict[StreamId, list[bytearray]] = {}
+        #: Total receptions processed (first deliveries + duplicates).
+        self.receptions = 0
+        # Whole fused fan-outs of flood data land in one batched call
+        # (Network.register_fan_sink, DESIGN.md §9) instead of one
+        # handle_message per receiver.  Fused fan events exist only on
+        # the uniform zero-cost path, so on_fan may forward through
+        # send_fan_unchecked unconditionally.
+        network.register_fan_sink(FloodData.kind, self.on_fan)
+
+    # -- slot lifecycle -------------------------------------------------
+    def attach(self, node_id: NodeId) -> int:
+        """Allocate (or recycle) a slot for ``node_id``."""
+        free = self._free
+        if free:
+            slot = free.pop()
+        else:
+            slot = self.capacity
+            self.capacity += 1
+            self.delivered.append(0)
+            self.duplicates.append(0)
+            self.payload_bytes.append(0)
+            self.rx_bytes.append(0)
+            self.fanout_rows.append([])
+            for rows in self._seen.values():
+                for row in rows:
+                    row.append(_UNSEEN)
+        self.slot_of[node_id] = slot
+        return slot
+
+    def release(self, node_id: NodeId, slot: int) -> None:
+        """Return a crashed node's slot to the free list, zeroed."""
+        if self.slot_of.pop(node_id, None) is None:
+            return
+        self.delivered[slot] = 0
+        self.duplicates[slot] = 0
+        self.payload_bytes[slot] = 0
+        self.rx_bytes[slot] = 0
+        self.fanout_rows[slot] = []
+        for rows in self._seen.values():
+            for row in rows:
+                row[slot] = _UNSEEN
+        self._free.append(slot)
+
+    def install_rows(self, ids, topo) -> None:
+        """Bulk-build the fan-out rows from CSR adjacency arrays.
+
+        ``topo`` is a :class:`repro.experiments.bootstrap.CSRTopology`
+        over ``ids`` (the i-th row describes ``ids[i]``).  Row order
+        matches what :meth:`HyParViewNode.install_overlay` produces from
+        the same arrays, so rows built here are identical to the ones
+        the membership notifications would have accumulated — set
+        :attr:`bulk_rows` around the view installation so that work is
+        skipped rather than redone."""
+        offsets = topo.offsets
+        neighbors = topo.neighbors
+        rows = self.fanout_rows
+        slot_of = self.slot_of
+        for i, nid in enumerate(ids):
+            rows[slot_of[nid]] = [
+                ids[j] for j in neighbors[offsets[i] : offsets[i + 1]]
+            ]
+
+    # -- seen maps ------------------------------------------------------
+    def _row(self, stream: StreamId, seq: int) -> bytearray:
+        rows = self._seen.get(stream)
+        if rows is None:
+            rows = self._seen[stream] = []
+        while len(rows) <= seq:
+            rows.append(bytearray(self.capacity))
+        return rows[seq]
+
+    def delivered_count(self, slot: int, stream: StreamId) -> int:
+        """Distinct sequence numbers delivered at ``slot`` on ``stream``
+        (exact per-stream walk; the hot path keeps only the per-slot
+        aggregate in :attr:`delivered`)."""
+        return sum(1 for row in self._seen.get(stream, ()) if row[slot])
+
+    # -- delivery hot path ----------------------------------------------
+    def on_fan(self, src: NodeId, dsts: list[NodeId], msg: FloodData, size: int) -> None:
+        """Process one whole fused fan-out (the Network fan sink).
+
+        Replaces the per-receiver ``account_receive`` + ``handle_message``
+        loop of the uniform zero-cost path: the seen map, counters and
+        message-derived values are bound once per fan-out and every
+        reception is a handful of array operations.  Per-destination
+        order, dead-endpoint drops and (in mirror mode) Metrics calls
+        exactly match the generic loop over object nodes.
+        """
+        stream = msg.stream
+        seq = msg.seq
+        rows = self._seen.get(stream)
+        row = rows[seq] if rows is not None and seq < len(rows) else self._row(stream, seq)
+        slot_of = self.slot_of
+        delivered = self.delivered
+        duplicates = self.duplicates
+        payload_totals = self.payload_bytes
+        rx_bytes = self.rx_bytes
+        fanout_rows = self.fanout_rows
+        mirror = self._mirror
+        metrics = self.metrics
+        network = self.network
+        nodes = network.nodes
+        now = self.sim.now
+        hops = msg.hops + 1
+        path_delay = msg.path_delay + (now - msg.sent_at)
+        payload = msg.payload_bytes
+        # Every first-deliverer of this fan re-floods identical content
+        # (same hop count, path delay and send instant): one shared
+        # forward message serves them all, like any fan-out share.
+        fwd = None
+        fwd_size = 0
+        # on_fan is reachable only through a fused fan event, which the
+        # network schedules solely on the uniform zero-cost path — the
+        # path send_fan_unchecked implements.  The kernel guarantees the
+        # invariants send_many would check: live sender, no self-sends,
+        # non-empty snapshot targets.
+        fan_send = network.send_fan_unchecked
+        processed = 0
+        for dst in dsts:
+            slot = slot_of.get(dst)
+            if slot is None:
+                # Crashed (slot released) or not kernel-attached: fall
+                # back to the generic single-delivery semantics.
+                node = nodes.get(dst)
+                if node is None or not node.alive:
+                    network._drop(src, dst)
+                else:
+                    metrics.account_receive(dst, size)
+                    node.handle_message(src, msg)
+                continue
+            processed += 1
+            rx_bytes[slot] += size
+            if mirror:
+                metrics.account_receive(dst, size)
+                metrics.record_delivery(dst, stream, seq, now, src, hops, path_delay)
+            state = row[slot]
+            if state == _RECEIVED:
+                duplicates[slot] += 1
+                continue
+            row[slot] = _RECEIVED
+            if state == _INJECTED:
+                # Source echo: recorded reception, no re-flood.
+                continue
+            delivered[slot] += 1
+            payload_totals[slot] += payload
+            targets = [p for p in fanout_rows[slot] if p != src]
+            if targets:
+                if fwd is None:
+                    fwd = FloodData(
+                        stream, seq, payload,
+                        hops=hops, path_delay=path_delay, sent_at=now,
+                    )
+                    fwd_size = fwd.size_bytes()
+                fan_send(dst, targets, fwd, fwd_size)
+        self.receptions += processed
+
+    def inject(self, node: "SlottedFloodNode", stream: StreamId, seq: int,
+               payload_bytes: int) -> None:
+        self.metrics.record_injection(stream, seq, self.sim.now)
+        row = self._row(stream, seq)
+        slot = node.slot
+        if row[slot] == _UNSEEN:
+            row[slot] = _INJECTED
+            self.delivered[slot] += 1
+        self._fan(node, slot, stream, seq, payload_bytes, None, 0, 0.0)
+
+    def on_data(self, node: "SlottedFloodNode", src: NodeId, msg: FloodData) -> None:
+        self.receptions += 1
+        stream = msg.stream
+        seq = msg.seq
+        rows = self._seen.get(stream)
+        row = rows[seq] if rows is not None and seq < len(rows) else self._row(stream, seq)
+        slot = node.slot
+        state = row[slot]
+        if state == _RECEIVED:
+            self.duplicates[slot] += 1
+            if self._mirror:
+                now = self.sim.now
+                self.metrics.record_delivery(
+                    node.node_id, stream, seq, now, src,
+                    msg.hops + 1, msg.path_delay + (now - msg.sent_at),
+                )
+            return
+        row[slot] = _RECEIVED
+        now = self.sim.now
+        hops = msg.hops + 1
+        path_delay = msg.path_delay + (now - msg.sent_at)
+        if self._mirror:
+            self.metrics.record_delivery(
+                node.node_id, stream, seq, now, src, hops, path_delay
+            )
+        if state == _INJECTED:
+            # The source hearing its own message back: a recorded first
+            # reception, but locally delivered already — no re-flood
+            # (the object path returns on ``seq in seen``).
+            return
+        self.delivered[slot] += 1
+        self.payload_bytes[slot] += msg.payload_bytes
+        self._fan(node, slot, stream, seq, msg.payload_bytes, src, hops, path_delay)
+
+    def _fan(
+        self,
+        node: "SlottedFloodNode",
+        slot: int,
+        stream: StreamId,
+        seq: int,
+        payload_bytes: int,
+        exclude: NodeId | None,
+        hops: int,
+        path_delay: float,
+    ) -> None:
+        peers = self.fanout_rows[slot]
+        if exclude is not None:
+            peers = [p for p in peers if p != exclude]
+        if peers:
+            self.network.send_many(
+                node.node_id,
+                peers,
+                FloodData(
+                    stream, seq, payload_bytes,
+                    hops=hops, path_delay=path_delay, sent_at=self.sim.now,
+                ),
+            )
+
+
+class SlottedFloodNode(HyParViewNode):
+    """HyParView flood participant backed by a :class:`SlottedFloodKernel`.
+
+    Membership (views, repair, promotion) is the unmodified HyParView
+    machinery — identical to :class:`FloodNode`'s, and consuming the same
+    RNG streams (``rng_kind``) so slotted and object runs of one seed see
+    the same overlay evolution under churn.  Only the delivery path is
+    slotted: ``FloodData`` receptions short-circuit the ``on_<kind>``
+    dispatch and hit the kernel arrays directly.
+    """
+
+    #: Consume the RNG streams of the reference implementation: the two
+    #: kernels must be draw-for-draw interchangeable within one seed.
+    rng_kind = "FloodNode"
+
+    def __init__(
+        self,
+        network,
+        node_id: NodeId,
+        hpv_config: HyParViewConfig | None = None,
+        *,
+        kernel: SlottedFloodKernel,
+    ) -> None:
+        self.kernel = kernel
+        self.slot = kernel.attach(node_id)
+        super().__init__(network, node_id, hpv_config)
+
+    def delivered_count(self, stream: StreamId = 0) -> int:
+        return self.kernel.delivered_count(self.slot, stream)
+
+    def handle_message(self, src: NodeId, msg: Message) -> None:
+        # One type probe replaces the ``getattr("on_" + kind)`` dispatch
+        # on the dominant message kind; everything else (membership
+        # traffic) takes the regular path.
+        if type(msg) is FloodData:
+            if self.alive:
+                self.kernel.on_data(self, src, msg)
+            return
+        super().handle_message(src, msg)
+
+    def inject(self, stream: StreamId, seq: int, payload_bytes: int) -> None:
+        self.kernel.inject(self, stream, seq, payload_bytes)
+
+    # -- keep the kernel's fan-out rows mirroring the active view -------
+    def neighbor_up(self, peer: NodeId) -> None:
+        # Fired only on genuine inserts (HyParView guards duplicates), in
+        # active-view insertion order — the row stays order-identical to
+        # ``[p for p in self.active]``.  During a bulk bootstrap the
+        # rows come from one install_rows pass instead.
+        kernel = self.kernel
+        if not kernel.bulk_rows:
+            kernel.fanout_rows[self.slot].append(peer)
+
+    def neighbor_down(self, peer: NodeId, failure: bool) -> None:
+        row = self.kernel.fanout_rows[self.slot]
+        try:
+            row.remove(peer)
+        except ValueError:
+            pass
+
+    def on_crash(self) -> None:
+        super().on_crash()
+        self.kernel.release(self.node_id, self.slot)

@@ -9,6 +9,7 @@ Commands mirror the per-experiment index of DESIGN.md §4::
     python -m repro scale --scale xl         # 10k-node flood benchmark
     python -m repro scale --stack brisa --size xl   # full BRISA stack at 10k
     python -m repro scale --scale xxl --messages 10 --no-microbench  # 100k rung
+    python -m repro scale --scale xl --churn 1 --kernel slotted      # churn at scale
 """
 
 from __future__ import annotations
@@ -160,6 +161,13 @@ def make_parser() -> argparse.ArgumentParser:
     sc_cmd.add_argument("--bootstrap", default=None, metavar="KIND",
                         help="brisa stack only: synthesized (default) | simulated | "
                              "path to an overlay checkpoint")
+    sc_cmd.add_argument("--kernel", choices=["object", "slotted"], default=None,
+                        help="flood stack only: delivery kernel (default object; "
+                             "slotted = flat-array state, DESIGN.md §9)")
+    sc_cmd.add_argument("--churn", type=float, default=None, metavar="PCT",
+                        help="flood stack only: kill PCT%% of the population at "
+                             "random instants during the stream (source protected) "
+                             "and join as many fresh nodes")
     sc_cmd.add_argument("--seed", type=int, default=1)
     sc_cmd.add_argument("--json", dest="json_path", default=None, metavar="FILE",
                         help="also write the results as JSON")
@@ -180,6 +188,15 @@ def _run_scale(args) -> int:
                     file=sys.stderr,
                 )
                 return 2
+    else:
+        # Symmetrically, the flood-only knobs must not be silently ignored.
+        for flag, value in (("--kernel", args.kernel), ("--churn", args.churn)):
+            if value is not None:
+                print(
+                    f"error: {flag} applies to the flood stack only",
+                    file=sys.stderr,
+                )
+                return 2
     try:
         scale = sc.get_scale(args.scale)
         nodes = args.nodes if args.nodes is not None else scale.cluster_nodes
@@ -197,6 +214,8 @@ def _run_scale(args) -> int:
                 nodes, args.messages,
                 degree=args.degree if args.degree is not None else 5,
                 rate=args.rate, seed=args.seed,
+                kernel=args.kernel if args.kernel is not None else "object",
+                churn_percent=args.churn if args.churn is not None else 0.0,
             )
     except (ValueError, SimulationError) as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -277,7 +277,9 @@ def _require_hyparview(nodes) -> None:
             )
 
 
-def synthesize_overlay(nodes, network, *, rng, degree: int | None = None) -> None:
+def synthesize_overlay(
+    nodes, network, *, rng, degree: int | None = None
+) -> CSRTopology:
     """Build and install a HyParView-convergent overlay over ``nodes``.
 
     ``nodes`` are already-spawned (fresh, empty-view) HyParView-stack
@@ -287,6 +289,10 @@ def synthesize_overlay(nodes, network, *, rng, degree: int | None = None) -> Non
     wired in bulk: per-node view installation through
     :meth:`HyParViewNode.install_overlay`'s fresh-node fast path, link
     registration through one :meth:`Network.register_links_csr` pass.
+
+    Returns the installed :class:`CSRTopology` so array-backed consumers
+    (the slotted flood kernel's fan-out rows, DESIGN.md §9) can reuse the
+    adjacency arrays instead of re-deriving them from node views.
     """
     _require_hyparview(nodes)
     n = len(nodes)
@@ -319,6 +325,7 @@ def synthesize_overlay(nodes, network, *, rng, degree: int | None = None) -> Non
     # The synthesizer emits every edge in both rows by construction
     # (property-tested), so the symmetry validation pass is skipped.
     network.register_links_csr(ids, offsets, neighbors, validate=False)
+    return topo
 
 
 # ----------------------------------------------------------------------

@@ -30,14 +30,17 @@ import time
 from dataclasses import asdict, dataclass
 from typing import Optional
 
-from repro.baselines.flood import FloodNode
+from repro.baselines.flood import FloodNode, SlottedFloodKernel, SlottedFloodNode
 from repro.config import HyParViewConfig
+from repro.errors import SimulationError
 from repro.ids import NodeId
+from repro.sim.churn import ChurnDriver
 from repro.sim.engine import Simulator
 from repro.sim.latency import ConstantLatency, LatencyModel, OccupancyLatency
 from repro.sim.message import Message
 from repro.sim.monitor import DISSEMINATION, Metrics
 from repro.sim.network import Network
+from repro.sim.trace import ConstChurn, Trace
 
 
 @dataclass
@@ -65,22 +68,40 @@ class ScaleFloodResult:
     peak_pending: int
     #: EventHandle free-list high-water mark after the run.
     handle_pool_size: int
+    #: Delivery kernel that ran the flood ("object" | "slotted").
+    kernel: str = "object"
+    #: Total receptions processed (first deliveries + duplicates) — the
+    #: unit the slotted-kernel speedup gate is measured in.
+    receptions: int = 0
+    receptions_per_sec: float = 0.0
+    #: Churn applied during the stream (percent of the population).
+    churn_percent: float = 0.0
+    kills: int = 0
+    joins: int = 0
+    #: Initial-population receivers still alive at the end of the run
+    #: (the delivered_fraction denominator under churn).
+    survivors: int = 0
 
     def to_dict(self) -> dict:
         return asdict(self)
 
     def summary(self) -> str:
-        return "\n".join(
-            [
-                f"nodes: {self.nodes} (degree ~{self.degree})",
-                f"messages: {self.messages} x {self.payload_bytes} B",
-                f"delivered: {self.delivered_fraction * 100:.2f}%",
-                f"sim time: {self.sim_time:.2f} s   wall time: {self.wall_time:.2f} s",
-                f"events: {self.events:,} ({self.events_per_sec:,.0f}/s)",
-                f"deliveries: {self.deliveries:,} ({self.deliveries_per_sec:,.0f}/s)",
-                f"peak heap: {self.peak_pending:,}   handle pool: {self.handle_pool_size:,}",
-            ]
-        )
+        lines = [
+            f"nodes: {self.nodes} (degree ~{self.degree})   kernel: {self.kernel}",
+            f"messages: {self.messages} x {self.payload_bytes} B",
+            f"delivered: {self.delivered_fraction * 100:.2f}%",
+            f"sim time: {self.sim_time:.2f} s   wall time: {self.wall_time:.2f} s",
+            f"events: {self.events:,} ({self.events_per_sec:,.0f}/s)",
+            f"deliveries: {self.deliveries:,} ({self.deliveries_per_sec:,.0f}/s)",
+            f"receptions: {self.receptions:,} ({self.receptions_per_sec:,.0f}/s)",
+            f"peak heap: {self.peak_pending:,}   handle pool: {self.handle_pool_size:,}",
+        ]
+        if self.churn_percent:
+            lines.append(
+                f"churn: {self.churn_percent:g}%   kills: {self.kills:,}   "
+                f"joins: {self.joins:,}   survivors: {self.survivors:,}"
+            )
+        return "\n".join(lines)
 
 
 def build_static_flood_overlay(
@@ -91,6 +112,7 @@ def build_static_flood_overlay(
     latency: Optional[LatencyModel] = None,
     record_deliveries: bool = False,
     shuffles: bool = False,
+    kernel: str = "object",
 ) -> tuple[Simulator, Network, list[FloodNode]]:
     """Spawn ``n`` flood nodes pre-wired into a connected random overlay.
 
@@ -101,6 +123,11 @@ def build_static_flood_overlay(
     simulating the join ramp.  ``shuffles=False`` (default) stops the
     HyParView shuffle timers: a static overlay has no churn to repair,
     and a drained heap then marks the exact end of dissemination.
+
+    ``kernel`` selects the flood delivery implementation: ``"object"``
+    (per-node dict state, the reference) or ``"slotted"`` (shared
+    flat-array kernel, DESIGN.md §9).  Both are draw-for-draw equivalent
+    for one seed.
     """
     from repro.experiments.bootstrap import synthesize_overlay
 
@@ -117,16 +144,53 @@ def build_static_flood_overlay(
     # The static views may exceed HyParView's default cap; size the config
     # so the synthesized wiring is legal under the protocol's own limits.
     hpv = HyParViewConfig(active_size=max(4, degree), passive_size=16)
+    factory = flood_node_factory(kernel, net, hpv)
     # Batched materialization (DESIGN.md §8): with shuffles off the
     # timers are never armed, so spawning schedules zero events.
     prior = net.autostart_timers
     net.autostart_timers = shuffles and prior
     try:
-        nodes = net.spawn_many(lambda network, nid: FloodNode(network, nid, hpv), n)
+        nodes = net.spawn_many(factory, n)
     finally:
         net.autostart_timers = prior
-    synthesize_overlay(nodes, net, rng=sim.rng("static-overlay"), degree=degree)
+    # Slotted: build the fan-out rows straight from the CSR adjacency
+    # arrays — one bulk pass over flat arrays; the per-peer notification
+    # appends the install would fire are suppressed meanwhile (contents
+    # identical either way, pinned by the parity tests).
+    slot_kernel = nodes[0].kernel if kernel == "slotted" else None
+    if slot_kernel is not None:
+        slot_kernel.bulk_rows = True
+    try:
+        topo = synthesize_overlay(nodes, net, rng=sim.rng("static-overlay"), degree=degree)
+    finally:
+        if slot_kernel is not None:
+            slot_kernel.bulk_rows = False
+    if slot_kernel is not None:
+        slot_kernel.install_rows([node.node_id for node in nodes], topo)
     return sim, net, nodes
+
+
+def flood_node_factory(
+    kernel: str,
+    net: Network,
+    hpv: HyParViewConfig,
+    *,
+    slot_kernel: Optional[SlottedFloodKernel] = None,
+):
+    """Node factory for one flood delivery kernel (``spawn``-compatible).
+
+    For ``"slotted"`` the factory closes over one shared
+    :class:`SlottedFloodKernel`: a fresh one by default (population
+    bootstrap), or the existing kernel passed as ``slot_kernel`` so
+    churn joiners land in the same arrays and recycle freed slots.
+    """
+    if kernel == "slotted":
+        if slot_kernel is None:
+            slot_kernel = SlottedFloodKernel(net)
+        return lambda network, nid: SlottedFloodNode(network, nid, hpv, kernel=slot_kernel)
+    if kernel == "object":
+        return lambda network, nid: FloodNode(network, nid, hpv)
+    raise ValueError(f"unknown flood kernel {kernel!r} (expected 'object' or 'slotted')")
 
 
 def run_scale_flood(
@@ -139,25 +203,76 @@ def run_scale_flood(
     seed: int = 1,
     drain: float = 10.0,
     latency: Optional[LatencyModel] = None,
+    kernel: str = "object",
+    churn_percent: float = 0.0,
+    churn_replacement: float = 1.0,
 ) -> ScaleFloodResult:
     """Disseminate ``messages`` flood messages over a ``nodes``-population
-    static overlay and measure engine throughput while doing it."""
+    static overlay and measure engine throughput while doing it.
+
+    ``churn_percent`` > 0 opens the churn-at-scale scenario (DESIGN.md
+    §9): one constant-churn period spanning the injection window kills
+    that percentage of the live population at random instants (the
+    source is protected, as in §III-C) and joins ``churn_replacement``
+    times as many fresh nodes through the regular HyParView join
+    protocol.  Delivery is then reported over the *surviving* initial
+    receivers — joiners cannot observe messages injected before they
+    arrived (flooding has no anti-entropy), so they are excluded from
+    the denominator.
+    """
     if messages < 1:
         raise ValueError("need at least one message to disseminate")
     if rate <= 0:
         raise ValueError("rate must be positive")
+    if not 0.0 <= churn_percent < 100.0:
+        raise ValueError("churn_percent must be in [0, 100)")
+    if churn_replacement < 0.0:
+        raise ValueError("churn_replacement must be >= 0")
     sim, net, flood_nodes = build_static_flood_overlay(
-        nodes, degree=degree, seed=seed, latency=latency
+        nodes, degree=degree, seed=seed, latency=latency, kernel=kernel
     )
     source = flood_nodes[0]
-    net.metrics.set_phase(DISSEMINATION, sim.now)
+    driver = None
     start = sim.now
+    if churn_percent:
+        # Joiners arm no periodic timers (message-driven join only), so
+        # the heap still drains exactly when the last repair settles.
+        net.autostart_timers = False
+        span = messages / rate
+        join_factory = flood_node_factory(
+            kernel, net, source.hpv_config,
+            slot_kernel=getattr(source, "kernel", None),
+        )
+        contact_rng = sim.rng("scale-churn-contacts")
+        initial_ids = [node.node_id for node in flood_nodes]
+
+        def join_fn():
+            node = net.spawn(join_factory)
+            # Rejection-sample a live contact among the initial
+            # population (expected O(1) tries; the protected source
+            # guarantees termination).
+            while True:
+                contact = contact_rng.choice(initial_ids)
+                if net.alive(contact):
+                    break
+            node.join(contact)
+            return node
+
+        trace = Trace((ConstChurn(start, start + span, churn_percent, span),))
+        driver = ChurnDriver(
+            sim, net, trace, join_fn,
+            protected=(source.node_id,), seed_label="scale-churn",
+        )
+        driver.replacement_ratio = churn_replacement
+        driver.apply()
+    net.metrics.set_phase(DISSEMINATION, sim.now)
     for seq in range(messages):
         sim.call_at(start + seq / rate, source.inject, 0, seq, payload_bytes)
     events_before = sim.events_processed
     t0 = time.perf_counter()
     # The overlay is static and shuffle-free: the heap drains exactly when
-    # the last in-flight message lands, so the batched loop needs no bound.
+    # the last in-flight message lands (under churn: when the last repair
+    # exchange settles), so the batched loop needs no bound.
     sim.run_until_idle()
     wall = time.perf_counter() - t0
     events = sim.events_processed - events_before
@@ -165,8 +280,14 @@ def run_scale_flood(
     net.metrics.close(sim.now)
     net.account_keepalives(DISSEMINATION, span)
 
-    receivers = len(flood_nodes) - 1
-    deliveries = sum(node.delivered_count(0) for node in flood_nodes[1:])
+    receivers = [node for node in flood_nodes[1:] if node.alive]
+    deliveries = sum(node.delivered_count(0) for node in receivers)
+    if kernel == "slotted":
+        receptions = source.kernel.receptions
+    else:
+        m = net.metrics
+        receptions = sum(len(per_node) for per_node in m.deliveries.values())
+        receptions += sum(m.duplicates.values())
     wall = max(wall, 1e-9)
     return ScaleFloodResult(
         nodes=nodes,
@@ -180,9 +301,18 @@ def run_scale_flood(
         events_per_sec=events / wall,
         deliveries=deliveries,
         deliveries_per_sec=deliveries / wall,
-        delivered_fraction=deliveries / (receivers * messages) if receivers else 1.0,
+        delivered_fraction=(
+            deliveries / (len(receivers) * messages) if receivers else 1.0
+        ),
         peak_pending=sim.peak_pending,
         handle_pool_size=sim.pool_size,
+        kernel=kernel,
+        receptions=receptions,
+        receptions_per_sec=receptions / wall,
+        churn_percent=churn_percent,
+        kills=driver.stats.kills if driver else 0,
+        joins=driver.stats.joins if driver else 0,
+        survivors=len(receivers),
     )
 
 
@@ -478,4 +608,91 @@ def occupancy_microbench(
         per_message_events_per_sec=per_message[1],
         fused_deliveries_per_sec=fused[0],
         fused_events_per_sec=fused[1],
+    )
+
+
+# ----------------------------------------------------------------------
+# Slotted microbenchmark: object kernel vs slotted kernel at scale
+# ----------------------------------------------------------------------
+@dataclass
+class SlottedMicrobenchResult:
+    """Same-machine flood delivery throughput at scale: the object
+    (per-node dict state) kernel vs the slotted (flat-array) kernel
+    (DESIGN.md §9).  Throughput is *receptions* completed per second —
+    first deliveries plus duplicates, the unit of per-delivery handler
+    work the slotted kernel exists to cut — over the full ``repro
+    scale``-shaped run (overlay synthesis excluded, dissemination loop
+    only is what ``wall_time`` measures on both sides)."""
+
+    nodes: int
+    messages: int
+    #: Receptions processed per run — identical on both sides by the
+    #: kernel-parity guarantee (checked at measurement time).
+    receptions: int
+    object_receptions_per_sec: float
+    slotted_receptions_per_sec: float
+
+    @property
+    def speedup(self) -> float:
+        """Per-delivery throughput ratio (the acceptance metric)."""
+        return self.slotted_receptions_per_sec / max(
+            self.object_receptions_per_sec, 1e-9
+        )
+
+    def to_dict(self) -> dict:
+        d = asdict(self)
+        d["speedup"] = self.speedup
+        return d
+
+    def summary(self) -> str:
+        return "\n".join(
+            [
+                f"workload: {self.nodes} nodes x {self.messages} messages "
+                f"({self.receptions:,} receptions)",
+                f"object kernel:  {self.object_receptions_per_sec:,.0f} receptions/s",
+                f"slotted kernel: {self.slotted_receptions_per_sec:,.0f} receptions/s",
+                f"speedup: {self.speedup:.2f}x",
+            ]
+        )
+
+
+def slotted_microbench(
+    nodes: int = 10_000, messages: int = 20, *,
+    degree: int = 5, rate: float = 20.0, seed: int = 3, repeats: int = 2,
+) -> SlottedMicrobenchResult:
+    """Measure the object flood kernel against the slotted kernel.
+
+    Both sides run the *identical* xl-shaped scenario — same seed, same
+    synthesized overlay, same injection schedule, draw-for-draw the same
+    simulation — so the reception count must match exactly (verified
+    here; the full parity surface is pinned by
+    tests/test_slotted_parity.py).  The best of ``repeats`` runs is kept
+    per side.
+    """
+
+    def best(kernel: str) -> ScaleFloodResult:
+        return max(
+            (
+                run_scale_flood(
+                    nodes, messages, degree=degree, rate=rate, seed=seed,
+                    kernel=kernel,
+                )
+                for _ in range(repeats)
+            ),
+            key=lambda r: r.receptions_per_sec,
+        )
+
+    obj = best("object")
+    slotted = best("slotted")
+    if obj.receptions != slotted.receptions:
+        raise SimulationError(
+            f"kernel parity violated: object kernel processed "
+            f"{obj.receptions} receptions, slotted {slotted.receptions}"
+        )
+    return SlottedMicrobenchResult(
+        nodes=nodes,
+        messages=messages,
+        receptions=obj.receptions,
+        object_receptions_per_sec=obj.receptions_per_sec,
+        slotted_receptions_per_sec=slotted.receptions_per_sec,
     )

@@ -51,10 +51,12 @@ from repro.experiments.scale_flood import (
     MicrobenchResult,
     OccupancyMicrobenchResult,
     ScaleFloodResult,
+    SlottedMicrobenchResult,
     build_static_flood_overlay,
     engine_microbench,
     occupancy_microbench,
     run_scale_flood,
+    slotted_microbench,
 )
 from repro.experiments.structural import (
     Fig2Result,
@@ -82,6 +84,8 @@ __all__ = [
     "Scale",
     "ScaleBrisaResult",
     "ScaleFloodResult",
+    "SlottedMicrobenchResult",
+    "slotted_microbench",
     "XL",
     "XXL",
     "StructureDistributions",

@@ -65,16 +65,21 @@ class ChurnDriver:
         self.protected.add(node_id)
 
     def apply(self) -> None:
-        """Schedule every trace operation (call once, before ``sim.run``)."""
+        """Schedule every trace operation (call once, before ``sim.run``).
+
+        All driver events go through the fire-and-forget scheduling tier
+        (pooled handles, DESIGN.md §1): the driver never cancels an event
+        — ``stopped`` gates the callbacks instead — so churn at xl/xxl
+        populations allocates no per-kill ``EventHandle``."""
         for op in self.trace.ops:
             if isinstance(op, JoinRamp):
                 self._schedule_ramp(op)
             elif isinstance(op, SetReplacementRatio):
-                self.sim.schedule_at(op.time, self._set_ratio, op.ratio)
+                self.sim.call_at(op.time, self._set_ratio, op.ratio)
             elif isinstance(op, ConstChurn):
                 self._schedule_churn(op)
             elif isinstance(op, Stop):
-                self.sim.schedule_at(op.time, self._stop)
+                self.sim.call_at(op.time, self._stop)
 
     # ------------------------------------------------------------------
     def _set_ratio(self, ratio: float) -> None:
@@ -87,12 +92,12 @@ class ChurnDriver:
         span = max(0.0, op.end - op.start)
         for i in range(op.count):
             t = op.start + (span * i / op.count if op.count else 0.0)
-            self.sim.schedule_at(t, self._join)
+            self.sim.call_at(t, self._join)
 
     def _schedule_churn(self, op: ConstChurn) -> None:
         t = op.start
         while t < op.end:
-            self.sim.schedule_at(t, self._churn_period, op, t)
+            self.sim.call_at(t, self._churn_period, op, t)
             t += op.period
 
     def _join(self) -> None:
@@ -121,11 +126,11 @@ class ChurnDriver:
         window = min(op.period, max(0.0, op.end - period_start))
         for victim in victims:
             delay = self._rng.uniform(0.0, window)
-            self.sim.schedule(delay, self._kill, victim)
+            self.sim.call_later(delay, self._kill, victim)
         n_join = self._stochastic_round(n_kill * self.replacement_ratio)
         for _ in range(n_join):
             delay = self._rng.uniform(0.0, window)
-            self.sim.schedule(delay, self._join)
+            self.sim.call_later(delay, self._join)
 
     def _kill(self, victim: NodeId) -> None:
         if self.stopped or not self.network.alive(victim):

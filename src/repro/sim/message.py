@@ -18,11 +18,21 @@ class Message:
 
     kind: str = "message"
 
-    __slots__ = ()
+    __slots__ = ("_size",)
 
     def size_bytes(self) -> int:
-        """Total on-the-wire size, including framing overhead."""
-        return HEADER_BYTES + self.body_bytes()
+        """Total on-the-wire size, including framing overhead.
+
+        Memoized: a message is immutable once handed to the network (the
+        wire abstraction — fan-outs share one instance), so the size is
+        computed once even when an instance is sent many times.
+        """
+        try:
+            return self._size
+        except AttributeError:
+            size = HEADER_BYTES + self.body_bytes()
+            self._size = size
+            return size
 
     def body_bytes(self) -> int:
         """Payload + metadata size; subclasses override."""

@@ -94,6 +94,12 @@ class Network:
         #: True when occupancy costs are deterministic: fan-outs charge
         #: the sender horizon in one pass (DESIGN.md §8; decided once).
         self._batch_occupancy = self.latency.occupancy_batchable()
+        #: Opt-in batched receivers by message kind (DESIGN.md §9): a
+        #: fused same-arrival fan-out whose message kind has a sink is
+        #: handed to it whole — one call per fan-out instead of one
+        #: ``handle_message`` per receiver.  Empty unless a slotted
+        #: kernel registered one; the fused path pays one falsy check.
+        self._fan_sinks: dict[str, Callable[[NodeId, list[NodeId], Message, int], None]] = {}
         #: Messages between one ordered pair ride one TCP connection, so
         #: delivery must be FIFO.  Models with per-message sampled jitter
         #: can invert two sends otherwise — e.g. a Deactivate overtaken by
@@ -194,9 +200,33 @@ class Network:
     # Links & failure detection
     # ------------------------------------------------------------------
     def register_link(self, a: NodeId, b: NodeId) -> None:
-        """Record an open TCP connection between two live nodes."""
+        """Record an open TCP connection between two live nodes.
+
+        Registering against a *crashed* endpoint models a TCP connect to
+        a dead host: no link is recorded and the live side learns of the
+        failure through the regular detection path.  Without this guard a
+        ``NeighborAccept`` processed after its sender's crash notice has
+        already fired re-registers the link with nothing left in flight
+        to reset it — a permanent ``links`` entry for a dead node and a
+        dead peer pinned in the survivor's active view (reachable under
+        occupancy backlog, where delivery delay exceeds the keep-alive
+        detection delay; regression-tested in tests/test_churn_at_scale.py).
+        """
         if a == b:
             raise SimulationError("cannot link a node to itself")
+        nodes = self.nodes
+        node_a = nodes.get(a)
+        node_b = nodes.get(b)
+        a_dead = node_a is not None and not node_a.alive
+        b_dead = node_b is not None and not node_b.alive
+        if a_dead or b_dead:
+            # Ids never registered stay linkable (pre-spawn bulk wiring);
+            # only *crashed* endpoints refuse the connection.
+            if not a_dead:
+                self._schedule_failure_notice(a, b)
+            elif not b_dead:
+                self._schedule_failure_notice(b, a)
+            return
         links = self.links
         peers = links.get(a)
         if peers is None:
@@ -307,6 +337,31 @@ class Network:
 
     def linked(self, a: NodeId, b: NodeId) -> bool:
         return b in self.links.get(a, ())
+
+    def check_link_invariants(self) -> None:
+        """Raise unless the registered-link invariants hold: every
+        endpoint maps to a live node, every peer set is non-empty, and
+        every link appears in both directions.
+
+        The invariants are guaranteed whenever no messages or failure
+        notices are in flight (crash purging and the TCP-reset emulation
+        repair transient violations); tests call this after draining the
+        heap to catch link leaks under churn (DESIGN.md §3, §9).
+        """
+        links = self.links
+        for nid, peers in links.items():
+            node = self.nodes.get(nid)
+            if node is None or not node.alive:
+                raise SimulationError(
+                    f"links registry holds dead endpoint {nid} (peers {sorted(peers)})"
+                )
+            if not peers:
+                raise SimulationError(f"links registry holds empty peer set for {nid}")
+            for peer in peers:
+                if nid not in links.get(peer, ()):
+                    raise SimulationError(
+                        f"link {nid}->{peer} has no reverse entry"
+                    )
 
     def _schedule_failure_notice(self, observer: NodeId, failed: NodeId) -> None:
         if (observer, failed) in self._notified:
@@ -475,8 +530,48 @@ class Network:
         self.metrics.account_receive(dst, size)
         node.handle_message(src, msg)
 
+    def send_fan_unchecked(
+        self, src: NodeId, dsts: list[NodeId], msg: Message, size: int
+    ) -> None:
+        """Trusted-caller reduction of :meth:`send_many` for the uniform
+        zero-cost fused branch (fan sinks, DESIGN.md §9): one fused fan
+        event plus one batched accounting call.  The caller guarantees
+        what ``send_many`` would otherwise check — live sender, no
+        self-sends, a non-empty snapshot list it will not mutate — and
+        supplies the precomputed ``size``.  Kept on the Network so the
+        checked and unchecked paths evolve in lockstep."""
+        sim = self.sim
+        sim.call_at(
+            sim.now + self.latency.uniform_delay, self._deliver_fan, src, dsts, msg, size
+        )
+        self.metrics.account_send_many(src, msg.kind, size, len(dsts))
+
+    def register_fan_sink(
+        self,
+        kind: str,
+        sink: Callable[[NodeId, list[NodeId], Message, int], None],
+    ) -> None:
+        """Route whole fused fan-outs of one message kind to ``sink``.
+
+        The sink replaces the per-receiver loop of :meth:`_deliver_fan`
+        for that kind and therefore owns its semantics: alive-filtering,
+        receive accounting, dead-destination drops (via :meth:`_drop`)
+        and handler dispatch, in destination order.  Only the uniform
+        zero-cost fused path is affected — per-message deliveries and
+        occupancy-charging paths keep the regular per-node chain — so a
+        run's receive bookkeeping stays consistent per latency model.
+        Used by the slotted flood kernel (DESIGN.md §9) to process a
+        fan-out's receptions against flat arrays with locals bound once.
+        """
+        self._fan_sinks[kind] = sink
+
     def _deliver_fan(self, src: NodeId, dsts: list[NodeId], msg: Message, size: int) -> None:
         """One event delivering a whole same-arrival fan-out."""
+        if self._fan_sinks:
+            sink = self._fan_sinks.get(msg.kind)
+            if sink is not None:
+                sink(src, dsts, msg, size)
+                return
         nodes = self.nodes
         account = self.metrics.account_receive
         for dst in dsts:

@@ -20,6 +20,14 @@ from repro.sim.message import Message
 class ProtocolNode:
     """A simulated process participating in the overlay."""
 
+    #: Label under which this node's RNG stream is derived (defaults to
+    #: the concrete class name).  An alternative implementation of the
+    #: same protocol (e.g. the slotted flood kernel standing in for
+    #: ``FloodNode``) pins this to the reference class's name so both
+    #: consume identical streams — the property that makes kernel runs
+    #: draw-for-draw comparable under churn.
+    rng_kind: "str | None" = None
+
     def __init__(self, network, node_id: NodeId) -> None:
         self.network = network
         self.sim = network.sim
@@ -34,7 +42,8 @@ class ProtocolNode:
         # which the bulk bootstrap of 100k-node scenarios never needs for
         # nodes that stay on deterministic code paths (DESIGN.md §8).
         if name == "_rng":
-            rng = self.sim.rng("node", self.node_id, type(self).__name__)
+            cls = type(self)
+            rng = self.sim.rng("node", self.node_id, cls.rng_kind or cls.__name__)
             self._rng = rng
             return rng
         raise AttributeError(

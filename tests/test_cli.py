@@ -54,6 +54,48 @@ def test_scale_command_rejects_degenerate_input(capsys):
     assert "unknown scale" in capsys.readouterr().err
     assert main(["scale", "--nodes", "64", "--rate", "0", "--no-microbench"]) == 2
     assert "rate" in capsys.readouterr().err
+    assert main(["scale", "--nodes", "64", "--churn", "100", "--no-microbench"]) == 2
+    assert "churn" in capsys.readouterr().err
+
+
+def test_scale_command_slotted_kernel(capsys, tmp_path):
+    out = tmp_path / "bench.json"
+    assert main([
+        "scale", "--nodes", "64", "--messages", "5", "--kernel", "slotted",
+        "--no-microbench", "--json", str(out),
+    ]) == 0
+    assert "kernel: slotted" in capsys.readouterr().out
+    import json
+
+    data = json.loads(out.read_text())
+    assert data["scale_run"]["kernel"] == "slotted"
+    assert data["scale_run"]["delivered_fraction"] == 1.0
+    assert data["scale_run"]["receptions"] > data["scale_run"]["deliveries"]
+
+
+def test_scale_command_churn(capsys, tmp_path):
+    out = tmp_path / "bench.json"
+    assert main([
+        "scale", "--nodes", "256", "--messages", "5", "--churn", "8",
+        "--no-microbench", "--json", str(out),
+    ]) == 0
+    printed = capsys.readouterr().out
+    assert "churn: 8%" in printed and "survivors" in printed
+    import json
+
+    data = json.loads(out.read_text())
+    assert data["scale_run"]["churn_percent"] == 8.0
+    assert data["scale_run"]["kills"] > 0
+    assert data["scale_run"]["survivors"] < 255
+
+
+def test_scale_flood_flags_rejected_on_brisa_stack(capsys):
+    for flag, value in (("--kernel", "slotted"), ("--churn", "5")):
+        assert main([
+            "scale", "--stack", "brisa", "--nodes", "32", flag, value,
+            "--no-microbench",
+        ]) == 2
+        assert "flood stack only" in capsys.readouterr().err
 
 
 def test_scale_command_uses_scale_population(capsys):

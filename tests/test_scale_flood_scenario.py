@@ -61,6 +61,20 @@ class TestRunScaleFlood:
         assert result.events_per_sec > 0
         assert result.peak_pending > 0
         assert result.wall_time > 0
+        assert result.kernel == "object"
+        assert result.receptions > result.deliveries  # flooding duplicates
+        assert result.survivors == 63
+
+    def test_slotted_kernel_full_delivery(self):
+        result = run_scale_flood(64, 5, seed=6, kernel="slotted")
+        assert result.kernel == "slotted"
+        assert result.delivered_fraction == 1.0
+        assert result.deliveries == 63 * 5
+        # Same simulation as the object kernel, draw for draw.
+        reference = run_scale_flood(64, 5, seed=6)
+        assert result.receptions == reference.receptions
+        assert result.events == reference.events
+        assert result.sim_time == reference.sim_time
 
     def test_result_serializes_for_bench_json(self):
         result = run_scale_flood(32, 3, seed=7)
