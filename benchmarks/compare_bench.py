@@ -44,6 +44,9 @@ GATED_METRICS: dict[str, list[tuple[str, str, float | None]]] = {
         ("microbench.speedup", "higher", RATIO_TOLERANCE),
         ("occupancy_microbench.speedup", "higher", RATIO_TOLERANCE),
         ("slotted_microbench.speedup", "higher", RATIO_TOLERANCE),
+        ("multistream_microbench.efficiency", "higher", RATIO_TOLERANCE),
+        ("multistream.delivered_fraction", "higher", None),
+        ("multistream.deliveries", "higher", None),
         ("churn.delivered_fraction", "higher", None),
         ("churn.deliveries", "higher", None),
         ("churn.events", "lower", None),
@@ -57,6 +60,8 @@ GATED_METRICS: dict[str, list[tuple[str, str, float | None]]] = {
         ("scale_run.events", "lower", None),
         ("scale_run.structure_complete", "higher", None),
         ("bootstrap.speedup", "higher", RATIO_TOLERANCE),
+        ("multistream.delivered_fraction", "higher", None),
+        ("multistream.structure_complete", "higher", None),
         ("xxl.delivered_fraction", "higher", None),
     ],
 }
@@ -96,6 +101,14 @@ def compare_file(
     for dotted, direction, override in GATED_METRICS[name]:
         base = lookup(baseline, dotted)
         cand = lookup(candidate, dotted)
+        if base is None and cand is not None:
+            # The metric exists only in the candidate: a PR adding a
+            # bench entry its (older) committed baseline cannot know
+            # about.  Informational, never a failure — the entry becomes
+            # gated once the new baseline is committed.
+            notes.append(f"info {name}: {dotted} candidate={cand:g} "
+                         f"(new metric, no baseline — informational)")
+            continue
         if base is None or cand is None:
             # e.g. the xxl entry exists only in nightly artifacts.
             notes.append(f"{name}: {dotted} absent from "

@@ -12,12 +12,12 @@ fraction of the runtime.
 
 from __future__ import annotations
 
-import json
 import pathlib
 
 import pytest
 
 from repro.experiments.scale import get_scale
+from repro.experiments.scale_runner import merge_json
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"
 
@@ -25,11 +25,9 @@ OUT_DIR = pathlib.Path(__file__).parent / "out"
 def merge_bench_json(path: pathlib.Path, updates: dict) -> dict:
     """Merge ``updates`` into a BENCH_*.json file, preserving entries
     written by other runs — the xxl benchmarks (nightly CI) and the
-    default-tier benchmarks update disjoint keys of the same file."""
-    data = json.loads(path.read_text()) if path.exists() else {}
-    data.update(updates)
-    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
-    return data
+    default-tier benchmarks update disjoint keys of the same file.
+    (Thin alias over the shared :func:`merge_json` merge-write.)"""
+    return merge_json(path, updates)
 
 
 @pytest.fixture(scope="session")

@@ -79,6 +79,36 @@ def test_scale_brisa_10k(emit):
     assert boot.speedup >= gate, boot.summary()
 
 
+def test_scale_brisa_multistream_xl(emit):
+    """The §IV acceptance run (DESIGN.md §10): 8 publishers over one
+    10k overlay emerge 8 independent complete/acyclic trees with 100%
+    aggregate delivery, and the relay-load-spread report shows the
+    interior-node sets differ across streams (SplitStream-style load
+    spreading on shared infrastructure)."""
+    result = run_scale_brisa(XL.cluster_nodes, 10, rate=20.0, seed=3, streams=8)
+    emit(
+        "scale_brisa_multistream",
+        banner(f"Scale BRISA multi-stream — {result.nodes} nodes (xl), 8 streams")
+        + "\n" + result.summary(),
+    )
+    OUT_DIR.mkdir(exist_ok=True)
+    merge_bench_json(
+        OUT_DIR / "BENCH_scale_brisa.json", {"multistream": result.to_dict()}
+    )
+
+    assert result.streams == 8 and len(result.per_stream) == 8
+    assert result.structure_complete, result.structure_reason
+    for row in result.per_stream:
+        assert row["structure_complete"], (row["stream"], row["structure_reason"])
+        assert row["delivered_fraction"] == 1.0, row
+    assert result.delivered_fraction == 1.0
+    rs = result.relay_spread
+    assert rs is not None and rs["streams"] == 8
+    # The §IV claim: every stream emerges its own relay set.
+    assert rs["distinct_sets"] is True
+    assert rs["interior_all"] <= min(rs["interior_per_stream"].values())
+
+
 @pytest.mark.skipif(
     not os.environ.get("REPRO_XXL"),
     reason="100k rung runs nightly / on demand (set REPRO_XXL=1)",

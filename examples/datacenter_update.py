@@ -7,15 +7,19 @@ tree delivers each chunk exactly once per server, flooding wastes an
 amount of bandwidth that grows with the active-view size.
 
 Run:  python examples/datacenter_update.py
+(REPRO_EXAMPLE_TINY=1 shrinks the population for smoke tests.)
 """
+
+import os
 
 from repro.config import HyParViewConfig, StreamConfig
 from repro.experiments.common import build_brisa_testbed, build_flood_testbed
 from repro.experiments.report import banner, table
 from repro.sim.latency import ClusterLatency
 
-SERVERS = 100
-CHUNKS = 64
+TINY = bool(os.environ.get("REPRO_EXAMPLE_TINY"))
+SERVERS = 32 if TINY else 100
+CHUNKS = 12 if TINY else 64
 CHUNK_KB = 50
 
 

@@ -8,9 +8,11 @@ are almost always soft, and missed items are recovered from the new
 parent's buffer.
 
 Run:  python examples/news_feed_churn.py
+(REPRO_EXAMPLE_TINY=1 shrinks the population for smoke tests.)
 """
 
 import math
+import os
 
 from repro.config import BrisaConfig, HyParViewConfig, StreamConfig
 from repro.experiments.common import build_brisa_testbed
@@ -19,9 +21,10 @@ from repro.metrics.stats import rate_per_minute
 from repro.sim.churn import ChurnDriver
 from repro.sim.trace import ConstChurn, SetReplacementRatio, Stop, Trace
 
-N = 96
+TINY = bool(os.environ.get("REPRO_EXAMPLE_TINY"))
+N = 32 if TINY else 96
 CHURN_PCT_PER_MIN = 5.0
-CHURN_SECONDS = 120.0
+CHURN_SECONDS = 30.0 if TINY else 120.0
 RATE = 5.0  # news items per second
 
 

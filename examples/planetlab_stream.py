@@ -7,7 +7,10 @@ first-come and delay-aware strategies (§II-E) plus the §IV perspectives
 routing-delay summaries and what each strategy optimized for.
 
 Run:  python examples/planetlab_stream.py
+(REPRO_EXAMPLE_TINY=1 shrinks the population for smoke tests.)
 """
+
+import os
 
 from repro.config import BrisaConfig, HyParViewConfig, StreamConfig
 from repro.core.structure import extract_structure, tree_depths
@@ -16,7 +19,9 @@ from repro.experiments.report import banner, cdf_rows
 from repro.metrics.stats import CDF
 from repro.sim.latency import PlanetLabLatency
 
-N = 60
+TINY = bool(os.environ.get("REPRO_EXAMPLE_TINY"))
+N = 24 if TINY else 60
+COUNT = 30 if TINY else 100
 STRATEGIES = (
     "first-come",
     "delay-aware",
@@ -35,7 +40,7 @@ def run(strategy: str, seed: int = 24):
         latency=PlanetLabLatency(seed=seed),
     )
     source = bed.choose_source()
-    stream = StreamConfig(count=100, rate=5.0, payload_bytes=1024)
+    stream = StreamConfig(count=COUNT, rate=5.0, payload_bytes=1024)
     bed.run_stream(source, stream, drain=30.0)
     delays = [
         rec.path_delay
@@ -50,7 +55,7 @@ def run(strategy: str, seed: int = 24):
 
 
 def main() -> None:
-    print(banner(f"PlanetLab stream — {N} nodes, 100 x 1 KB, five strategies"))
+    print(banner(f"PlanetLab stream — {N} nodes, {COUNT} x 1 KB, five strategies"))
     series = {}
     depths = {}
     for strategy in STRATEGIES:

@@ -6,17 +6,24 @@ first messages into a spanning tree, then verifies the §II-B correctness
 property (complete + acyclic) and prints what the emergence cost.
 
 Run:  python examples/quickstart.py
+(REPRO_EXAMPLE_TINY=1 shrinks the population for smoke tests.)
 """
+
+import os
 
 from repro import quick_brisa_run
 from repro.core.structure import structure_summary
 from repro.experiments.report import banner
 
+TINY = bool(os.environ.get("REPRO_EXAMPLE_TINY"))
+N = 24 if TINY else 64
+MESSAGES = 12 if TINY else 50
+
 
 def main() -> None:
-    result = quick_brisa_run(n=64, messages=50, seed=1)
+    result = quick_brisa_run(n=N, messages=MESSAGES, seed=1)
 
-    print(banner("BRISA quickstart — 64 nodes, 50 x 1 KB messages"))
+    print(banner(f"BRISA quickstart — {N} nodes, {MESSAGES} x 1 KB messages"))
     print(result.summary())
 
     g = result.structure()
@@ -29,7 +36,7 @@ def main() -> None:
     deacts = sum(metrics.msg_counts["brisa_deactivate"].values())
     receivers = len(result.receivers())
     print(f"data messages sent: {sends} "
-          f"(ideal tree = {receivers * 50}; the surplus is the bootstrap flood)")
+          f"(ideal tree = {receivers * MESSAGES}; the surplus is the bootstrap flood)")
     print(f"deactivations spent to prune the flood: {deacts}")
     ok, reason = result.structure_ok()
     print(f"structure complete & acyclic: {ok} ({reason})")

@@ -9,7 +9,10 @@ bandwidth halves while a parent failure still leaves every stripe
 recoverable through reassignment.
 
 Run:  python examples/stream_splitting.py
+(REPRO_EXAMPLE_TINY=1 shrinks the population for smoke tests.)
 """
+
+import os
 
 from repro.config import BrisaConfig, StreamConfig
 from repro.core.splitting import (
@@ -20,7 +23,8 @@ from repro.core.splitting import (
 from repro.experiments.common import build_brisa_testbed
 from repro.experiments.report import banner, table
 
-N = 64
+TINY = bool(os.environ.get("REPRO_EXAMPLE_TINY"))
+N = 24 if TINY else 64
 MESSAGES = 200
 PAYLOAD = 4096
 
@@ -29,7 +33,10 @@ def main() -> None:
     cfg = BrisaConfig(mode="dag", num_parents=2)
     bed = build_brisa_testbed(N, seed=5, config=cfg)
     source = bed.choose_source()
-    bed.run_stream(source, StreamConfig(count=40, rate=5.0, payload_bytes=PAYLOAD))
+    bed.run_stream(
+        source,
+        StreamConfig(count=15 if TINY else 40, rate=5.0, payload_bytes=PAYLOAD),
+    )
 
     two_parent_nodes = [
         n for n in bed.alive_nodes()

@@ -14,10 +14,11 @@ API (DESIGN.md §9):
   ``Metrics.record_delivery`` bookkeeping).
 - :class:`SlottedFloodNode` + :class:`SlottedFloodKernel` — the scale
   kernel: delivery state lives in flat arrays indexed by a dense node
-  *slot* (seen byte-maps per sequence number, delivered/duplicate
-  counters, payload-byte totals) shared by all nodes of a run, with
-  per-slot fan-out rows maintained from membership notifications and
-  bulk-installable from PR 3's CSR topology arrays.  Draw-for-draw
+  *slot*, one :class:`_SlotPlane` per stream (seen byte-maps per
+  sequence number, delivered/duplicate counters, payload-byte totals)
+  shared by all nodes of a run, with per-slot fan-out rows maintained
+  from membership notifications and bulk-installable from PR 3's CSR
+  topology arrays.  Draw-for-draw
   equivalent to the object path — same delivery sets, duplicate counts,
   byte totals and timestamps under zero-cost and occupancy-charging
   latency models — pinned by tests/test_slotted_parity.py.
@@ -112,7 +113,8 @@ class FloodNode(HyParViewNode):
         path_delay = msg.path_delay + hop_delay
         hops = msg.hops + 1
         first = self.network.metrics.record_delivery(
-            self.node_id, msg.stream, msg.seq, self.sim.now, src, hops, path_delay
+            self.node_id, msg.stream, msg.seq, self.sim.now, src, hops, path_delay,
+            msg.payload_bytes,
         )
         if msg.seq in seen:
             return
@@ -138,6 +140,32 @@ class FloodNode(HyParViewNode):
 _UNSEEN, _INJECTED, _RECEIVED = 0, 1, 2
 
 
+class _SlotPlane:
+    """Per-stream *slot plane*: one stream's flat delivery state.
+
+    A plane is the slotted analogue of one stream shard — seen maps
+    (one ``bytearray`` cell per slot per sequence) and per-slot
+    delivered/duplicate/payload counters, all indexed by the kernel's
+    dense node slots.  The kernel keeps one plane per active stream id
+    (dense plane index, DESIGN.md §10), so K concurrent streams stay on
+    the array path with zero shared-dict contention between streams.
+    """
+
+    __slots__ = ("stream", "rows", "delivered", "duplicates", "payload_bytes")
+
+    def __init__(self, stream: StreamId, capacity: int) -> None:
+        self.stream = stream
+        #: Seen maps indexed by seq; one byte cell per slot.
+        self.rows: list[bytearray] = []
+        zeros = bytes(8 * capacity)
+        #: Distinct sequence numbers delivered per slot (injections included).
+        self.delivered = array("q", zeros)
+        #: Duplicate receptions per slot on this stream.
+        self.duplicates = array("q", zeros)
+        #: Payload bytes of first-time receptions per slot.
+        self.payload_bytes = array("q", zeros)
+
+
 class SlottedFloodKernel:
     """Flat-array delivery state shared by every :class:`SlottedFloodNode`.
 
@@ -146,18 +174,21 @@ class SlottedFloodKernel:
     dict-of-sets plus the ``Metrics.record_delivery`` nested dicts.  This
     kernel replaces all of it with arrays indexed by a dense *slot*:
 
-    - one ``bytearray`` per (stream, seq) — the seen map, one cell per
-      slot (``_UNSEEN``/``_INJECTED``/``_RECEIVED``);
-    - ``delivered`` / ``duplicates`` / ``payload_bytes`` — per-slot
-      counters (``array('q')``);
+    - one :class:`_SlotPlane` per stream id (resolved through a dense
+      plane index, not ad-hoc ``(stream, seq)`` dict keys): the seen
+      maps (``_UNSEEN``/``_INJECTED``/``_RECEIVED`` byte cells) and the
+      per-slot delivered/duplicate/payload counters of that stream;
+    - ``rx_bytes`` — wire bytes received per slot across all streams;
     - ``fanout_rows`` — per-slot peer-id lists mirroring the node's
       active view in insertion order, maintained from membership
-      notifications and bulk-installable from a :class:`CSRTopology`.
+      notifications and bulk-installable from a :class:`CSRTopology`
+      (the overlay is shared by every stream, so rows are plane-free).
 
     Slots are recycled through a free list: :meth:`release` (called from
     ``SlottedFloodNode.on_crash``, i.e. under :meth:`Network.crash`)
-    zeroes every per-slot cell before the slot can be handed to a churn
-    joiner, so a recycled slot starts exactly like a fresh object node.
+    zeroes the slot's cells in *every* plane before the slot can be
+    handed to a churn joiner, so a recycled slot starts exactly like a
+    fresh object node on every stream.
 
     When the run's :class:`Metrics` records deliveries (small/parity
     runs), the kernel mirrors every reception into
@@ -176,13 +207,6 @@ class SlottedFloodKernel:
         self.slot_of: dict[NodeId, int] = {}
         self._free: list[int] = []
         self.capacity = 0
-        #: Distinct sequence numbers delivered per slot (injections
-        #: included), across all streams — ``FloodNode.delivered`` sizes.
-        self.delivered = array("q")
-        #: Duplicate receptions per slot (``Metrics.duplicates`` semantics).
-        self.duplicates = array("q")
-        #: Payload bytes of first-time receptions per slot.
-        self.payload_bytes = array("q")
         #: Wire bytes received per slot on the fan-sink path (the slotted
         #: stand-in for ``Metrics.bytes_received`` at scale; in mirror
         #: mode Metrics is fed too and the two agree).
@@ -193,8 +217,10 @@ class SlottedFloodKernel:
         #: appends — a bulk bootstrap builds the rows in one
         #: :meth:`install_rows` pass over the CSR arrays instead.
         self.bulk_rows = False
-        #: stream -> seen maps indexed by seq; one byte cell per slot.
-        self._seen: dict[StreamId, list[bytearray]] = {}
+        #: Slot planes in dense-index order; one per stream ever seen.
+        self.planes: list[_SlotPlane] = []
+        #: stream id -> dense plane index.
+        self.plane_of: dict[StreamId, int] = {}
         #: Total receptions processed (first deliveries + duplicates).
         self.receptions = 0
         # Whole fused fan-outs of flood data land in one batched call
@@ -213,28 +239,29 @@ class SlottedFloodKernel:
         else:
             slot = self.capacity
             self.capacity += 1
-            self.delivered.append(0)
-            self.duplicates.append(0)
-            self.payload_bytes.append(0)
             self.rx_bytes.append(0)
             self.fanout_rows.append([])
-            for rows in self._seen.values():
-                for row in rows:
+            for plane in self.planes:
+                plane.delivered.append(0)
+                plane.duplicates.append(0)
+                plane.payload_bytes.append(0)
+                for row in plane.rows:
                     row.append(_UNSEEN)
         self.slot_of[node_id] = slot
         return slot
 
     def release(self, node_id: NodeId, slot: int) -> None:
-        """Return a crashed node's slot to the free list, zeroed."""
+        """Return a crashed node's slot to the free list, zeroed in
+        every plane."""
         if self.slot_of.pop(node_id, None) is None:
             return
-        self.delivered[slot] = 0
-        self.duplicates[slot] = 0
-        self.payload_bytes[slot] = 0
         self.rx_bytes[slot] = 0
         self.fanout_rows[slot] = []
-        for rows in self._seen.values():
-            for row in rows:
+        for plane in self.planes:
+            plane.delivered[slot] = 0
+            plane.duplicates[slot] = 0
+            plane.payload_bytes[slot] = 0
+            for row in plane.rows:
                 row[slot] = _UNSEEN
         self._free.append(slot)
 
@@ -257,20 +284,44 @@ class SlottedFloodKernel:
                 ids[j] for j in neighbors[offsets[i] : offsets[i + 1]]
             ]
 
-    # -- seen maps ------------------------------------------------------
-    def _row(self, stream: StreamId, seq: int) -> bytearray:
-        rows = self._seen.get(stream)
-        if rows is None:
-            rows = self._seen[stream] = []
+    # -- slot planes ----------------------------------------------------
+    def plane(self, stream: StreamId) -> _SlotPlane:
+        """The slot plane for ``stream`` (created on first touch)."""
+        idx = self.plane_of.get(stream)
+        if idx is None:
+            idx = self.plane_of[stream] = len(self.planes)
+            self.planes.append(_SlotPlane(stream, self.capacity))
+        return self.planes[idx]
+
+    def _row(self, plane: _SlotPlane, seq: int) -> bytearray:
+        rows = plane.rows
         while len(rows) <= seq:
             rows.append(bytearray(self.capacity))
         return rows[seq]
 
     def delivered_count(self, slot: int, stream: StreamId) -> int:
         """Distinct sequence numbers delivered at ``slot`` on ``stream``
-        (exact per-stream walk; the hot path keeps only the per-slot
-        aggregate in :attr:`delivered`)."""
-        return sum(1 for row in self._seen.get(stream, ()) if row[slot])
+        (exact walk of the stream plane's seen maps; the hot path keeps
+        only the per-slot counters)."""
+        idx = self.plane_of.get(stream)
+        if idx is None:
+            return 0
+        return sum(1 for row in self.planes[idx].rows if row[slot])
+
+    # -- cross-plane slot aggregates (tests / parity checks) -------------
+    def slot_delivered(self, slot: int) -> int:
+        """Distinct (stream, seq) deliveries at ``slot`` across planes —
+        the object path's ``FloodNode.delivered`` total size."""
+        return sum(plane.delivered[slot] for plane in self.planes)
+
+    def slot_duplicates(self, slot: int) -> int:
+        """Duplicate receptions at ``slot`` across planes
+        (``Metrics.duplicates[node]`` semantics)."""
+        return sum(plane.duplicates[slot] for plane in self.planes)
+
+    def slot_payload_bytes(self, slot: int) -> int:
+        """First-reception payload bytes at ``slot`` across planes."""
+        return sum(plane.payload_bytes[slot] for plane in self.planes)
 
     # -- delivery hot path ----------------------------------------------
     def on_fan(self, src: NodeId, dsts: list[NodeId], msg: FloodData, size: int) -> None:
@@ -285,12 +336,13 @@ class SlottedFloodKernel:
         """
         stream = msg.stream
         seq = msg.seq
-        rows = self._seen.get(stream)
-        row = rows[seq] if rows is not None and seq < len(rows) else self._row(stream, seq)
+        plane = self.plane(stream)
+        rows = plane.rows
+        row = rows[seq] if seq < len(rows) else self._row(plane, seq)
         slot_of = self.slot_of
-        delivered = self.delivered
-        duplicates = self.duplicates
-        payload_totals = self.payload_bytes
+        delivered = plane.delivered
+        duplicates = plane.duplicates
+        payload_totals = plane.payload_bytes
         rx_bytes = self.rx_bytes
         fanout_rows = self.fanout_rows
         mirror = self._mirror
@@ -329,7 +381,9 @@ class SlottedFloodKernel:
             rx_bytes[slot] += size
             if mirror:
                 metrics.account_receive(dst, size)
-                metrics.record_delivery(dst, stream, seq, now, src, hops, path_delay)
+                metrics.record_delivery(
+                    dst, stream, seq, now, src, hops, path_delay, payload
+                )
             state = row[slot]
             if state == _RECEIVED:
                 duplicates[slot] += 1
@@ -354,28 +408,31 @@ class SlottedFloodKernel:
     def inject(self, node: "SlottedFloodNode", stream: StreamId, seq: int,
                payload_bytes: int) -> None:
         self.metrics.record_injection(stream, seq, self.sim.now)
-        row = self._row(stream, seq)
+        plane = self.plane(stream)
+        row = self._row(plane, seq)
         slot = node.slot
         if row[slot] == _UNSEEN:
             row[slot] = _INJECTED
-            self.delivered[slot] += 1
+            plane.delivered[slot] += 1
         self._fan(node, slot, stream, seq, payload_bytes, None, 0, 0.0)
 
     def on_data(self, node: "SlottedFloodNode", src: NodeId, msg: FloodData) -> None:
         self.receptions += 1
         stream = msg.stream
         seq = msg.seq
-        rows = self._seen.get(stream)
-        row = rows[seq] if rows is not None and seq < len(rows) else self._row(stream, seq)
+        plane = self.plane(stream)
+        rows = plane.rows
+        row = rows[seq] if seq < len(rows) else self._row(plane, seq)
         slot = node.slot
         state = row[slot]
         if state == _RECEIVED:
-            self.duplicates[slot] += 1
+            plane.duplicates[slot] += 1
             if self._mirror:
                 now = self.sim.now
                 self.metrics.record_delivery(
                     node.node_id, stream, seq, now, src,
                     msg.hops + 1, msg.path_delay + (now - msg.sent_at),
+                    msg.payload_bytes,
                 )
             return
         row[slot] = _RECEIVED
@@ -384,15 +441,16 @@ class SlottedFloodKernel:
         path_delay = msg.path_delay + (now - msg.sent_at)
         if self._mirror:
             self.metrics.record_delivery(
-                node.node_id, stream, seq, now, src, hops, path_delay
+                node.node_id, stream, seq, now, src, hops, path_delay,
+                msg.payload_bytes,
             )
         if state == _INJECTED:
             # The source hearing its own message back: a recorded first
             # reception, but locally delivered already — no re-flood
             # (the object path returns on ``seq in seen``).
             return
-        self.delivered[slot] += 1
-        self.payload_bytes[slot] += msg.payload_bytes
+        plane.delivered[slot] += 1
+        plane.payload_bytes[slot] += msg.payload_bytes
         self._fan(node, slot, stream, seq, msg.payload_bytes, src, hops, path_delay)
 
     def _fan(

@@ -170,7 +170,8 @@ class PlumTreeNode(HyParViewNode):
         path_delay = msg.path_delay + hop_delay
         hops = msg.hops + 1
         self.network.metrics.record_delivery(
-            self.node_id, msg.stream, msg.seq, self.sim.now, src, hops, path_delay
+            self.node_id, msg.stream, msg.seq, self.sim.now, src, hops, path_delay,
+            msg.payload_bytes,
         )
         lazy = self.lazy.setdefault(msg.stream, set())
         if msg.seq in per:

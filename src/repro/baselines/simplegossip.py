@@ -145,7 +145,8 @@ class SimpleGossipNode(CyclonNode):
         path_delay = msg.path_delay + hop_delay
         hops = msg.hops + 1
         self.network.metrics.record_delivery(
-            self.node_id, msg.stream, msg.seq, self.sim.now, src, hops, path_delay
+            self.node_id, msg.stream, msg.seq, self.sim.now, src, hops, path_delay,
+            msg.payload_bytes,
         )
         if msg.seq in per:
             return  # infect-and-die: duplicates are dropped, not relayed

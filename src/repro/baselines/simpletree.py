@@ -169,7 +169,8 @@ class SimpleTreeNode(ProtocolNode):
         path_delay = msg.path_delay + hop_delay
         hops = msg.hops + 1
         self.network.metrics.record_delivery(
-            self.node_id, msg.stream, msg.seq, self.sim.now, src, hops, path_delay
+            self.node_id, msg.stream, msg.seq, self.sim.now, src, hops, path_delay,
+            msg.payload_bytes,
         )
         if msg.seq in seen:
             return

@@ -439,6 +439,7 @@ class TagNode(ProtocolNode):
         self.network.metrics.record_delivery(
             self.node_id, msg.stream, msg.seq, self.sim.now, src,
             hops, msg.path_delay + (self.sim.now - msg.sent_at),
+            msg.payload_bytes,
         )
         if msg.seq in per:
             return

@@ -10,12 +10,12 @@ Commands mirror the per-experiment index of DESIGN.md §4::
     python -m repro scale --stack brisa --size xl   # full BRISA stack at 10k
     python -m repro scale --scale xxl --messages 10 --no-microbench  # 100k rung
     python -m repro scale --scale xl --churn 1 --kernel slotted      # churn at scale
+    python -m repro scale --stack brisa --size xl --streams 8        # §IV multi-stream
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from typing import Callable
 
@@ -166,11 +166,17 @@ def make_parser() -> argparse.ArgumentParser:
                              "slotted = flat-array state, DESIGN.md §9)")
     sc_cmd.add_argument("--churn", type=float, default=None, metavar="PCT",
                         help="flood stack only: kill PCT%% of the population at "
-                             "random instants during the stream (source protected) "
+                             "random instants during the stream (sources protected) "
                              "and join as many fresh nodes")
+    sc_cmd.add_argument("--streams", type=int, default=1, metavar="K",
+                        help="concurrent publishers, spread over the population, "
+                             "each driving its own stream id (default 1; "
+                             "DESIGN.md §10)")
     sc_cmd.add_argument("--seed", type=int, default=1)
     sc_cmd.add_argument("--json", dest="json_path", default=None, metavar="FILE",
-                        help="also write the results as JSON")
+                        help="also write the results as JSON (merge-write: "
+                             "existing entries in FILE from other runs are "
+                             "preserved)")
     sc_cmd.add_argument("--no-microbench", action="store_true",
                         help="skip the engine and occupancy microbenchmarks")
     return parser
@@ -208,6 +214,7 @@ def _run_scale(args) -> int:
                 rate=args.rate, seed=args.seed,
                 bootstrap=args.bootstrap if args.bootstrap is not None else "synthesized",
                 join_spacing=scale.join_spacing, settle=scale.settle,
+                streams=args.streams,
             )
         else:
             result = sc.run_scale_flood(
@@ -216,6 +223,7 @@ def _run_scale(args) -> int:
                 rate=args.rate, seed=args.seed,
                 kernel=args.kernel if args.kernel is not None else "object",
                 churn_percent=args.churn if args.churn is not None else 0.0,
+                streams=args.streams,
             )
     except (ValueError, SimulationError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -233,8 +241,10 @@ def _run_scale(args) -> int:
         print(occ.summary())
         payload["occupancy_microbench"] = occ.to_dict()
     if args.json_path:
-        with open(args.json_path, "w") as fh:
-            json.dump(payload, fh, indent=2, sort_keys=True)
+        # The shared merge-write (DESIGN.md §10): repeated runs pointed at
+        # one artifact accumulate entries instead of clobbering them, the
+        # same contract the BENCH_*.json files rely on.
+        sc.merge_json(args.json_path, payload)
         print(f"\nwrote {args.json_path}")
     return 0
 

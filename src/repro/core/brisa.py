@@ -177,7 +177,8 @@ class BrisaNode(HyParViewNode):
 
         first = msg.seq not in state.delivered
         self.network.metrics.record_delivery(
-            self.node_id, msg.stream, msg.seq, self.sim.now, src, hops, path_delay
+            self.node_id, msg.stream, msg.seq, self.sim.now, src, hops, path_delay,
+            msg.payload_bytes,
         )
 
         if first:

@@ -292,15 +292,11 @@ class RunResult:
 
     def delivered_fraction(self) -> float:
         """Fraction of (message, receiver) pairs delivered."""
-        receivers = set(self.receivers())
-        if not receivers:
-            return 1.0
-        sid = self.stream_cfg.stream_id
-        got = 0
-        for seq in range(self.stream_cfg.count):
-            per_node = self.metrics.deliveries.get((sid, seq), {})
-            got += len(receivers & per_node.keys())
-        return got / (self.stream_cfg.count * len(receivers))
+        return self.metrics.delivered_fraction(
+            self.stream_cfg.stream_id,
+            self.receivers(),
+            window=(0, self.stream_cfg.count),
+        )
 
     def duplicates_per_node(self) -> list[int]:
         return self.metrics.duplicates_per_node(self.receivers())

@@ -205,9 +205,9 @@ class Table2Result:
 
 def _mean_span(bed, source, stream: StreamConfig) -> tuple[float, float]:
     """Mean over nodes of (last reception - first reception); §III-D's
-    dissemination latency.  Also returns the delivered fraction."""
+    dissemination latency.  Also returns the delivered fraction
+    (via the sharded :meth:`Metrics.delivered_fraction`)."""
     spans = []
-    total = 0
     receivers = [nid for nid in bed.alive_ids() if nid != source.node_id]
     for nid in receivers:
         times = [
@@ -216,11 +216,12 @@ def _mean_span(bed, source, stream: StreamConfig) -> tuple[float, float]:
             for rec in [bed.metrics.deliveries.get((stream.stream_id, seq), {}).get(nid)]
             if rec is not None
         ]
-        total += len(times)
         if len(times) >= 2:
             spans.append(max(times) - min(times))
     mean_span = sum(spans) / len(spans) if spans else 0.0
-    delivered = total / (len(receivers) * stream.count) if receivers else 1.0
+    delivered = bed.metrics.delivered_fraction(
+        stream.stream_id, receivers, window=(0, stream.count)
+    )
     return mean_span, delivered
 
 

@@ -7,20 +7,29 @@ repair, §II — affordable at those populations by skipping the simulated
 HyParView join ramp.  This module carries the scenario entry point
 (:func:`run_scale_brisa`, also behind ``repro scale --stack brisa``) and
 the bootstrap benchmark (:func:`bootstrap_comparison`) that gates the
-synthesized path against the simulated ramp it replaces.
+synthesized path against the simulated ramp it replaces.  The harness
+spine (multi-stream injection windows, timed drain, per-stream
+accounting) is shared with the flood stack through
+:mod:`repro.experiments.scale_runner` (DESIGN.md §10).
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 from typing import Optional
 
-from repro.config import BrisaConfig, HyParViewConfig, StreamConfig
-from repro.core.structure import extract_structure, is_complete_structure
+from repro.config import BrisaConfig, HyParViewConfig
 from repro.experiments.common import Testbed, brisa_factory
+from repro.experiments.scale_runner import (
+    ScaleRunner,
+    aggregate_outcomes,
+    brisa_stream_outcomes,
+    outcomes_summary,
+    spread_sources,
+    validate_workload,
+)
 from repro.sim.latency import ConstantLatency, LatencyModel
-from repro.sim.monitor import DISSEMINATION
 
 
 @dataclass
@@ -53,26 +62,45 @@ class ScaleBrisaResult:
     duplicates_per_node: float
     peak_pending: int
     handle_pool_size: int
+    #: Concurrent publishers (stream ``i`` driven by source ``i``).
+    streams: int = 1
+    #: Per-stream outcomes (``StreamOutcome.to_dict`` rows), including
+    #: each stream's §II-B structure invariant.
+    per_stream: list = field(default_factory=list)
+    #: §IV relay-load-spread report (``RelayLoadSpread.to_dict``) for
+    #: multi-stream runs; None when a single stream ran.
+    relay_spread: Optional[dict] = None
 
     def to_dict(self) -> dict:
         return asdict(self)
 
     def summary(self) -> str:
         structure = "complete/acyclic" if self.structure_complete else self.structure_reason
-        return "\n".join(
-            [
-                f"nodes: {self.nodes} ({self.mode} mode, {self.bootstrap} bootstrap)",
-                f"messages: {self.messages} x {self.payload_bytes} B",
-                f"delivered: {self.delivered_fraction * 100:.2f}%",
-                f"structure: {structure}",
-                f"duplicates/node (mean): {self.duplicates_per_node:.2f}",
-                f"bootstrap: {self.bootstrap_wall:.2f} s wall",
-                f"sim time: {self.sim_time:.2f} s   wall time: {self.wall_time:.2f} s",
-                f"events: {self.events:,} ({self.events_per_sec:,.0f}/s)",
-                f"deliveries: {self.deliveries:,} ({self.deliveries_per_sec:,.0f}/s)",
-                f"peak heap: {self.peak_pending:,}   handle pool: {self.handle_pool_size:,}",
-            ]
-        )
+        lines = [
+            f"nodes: {self.nodes} ({self.mode} mode, {self.bootstrap} bootstrap)",
+            f"messages: {self.streams} stream(s) x {self.messages} x {self.payload_bytes} B",
+            f"delivered: {self.delivered_fraction * 100:.2f}%",
+            f"structure: {structure}",
+            f"duplicates/node (mean): {self.duplicates_per_node:.2f}",
+            f"bootstrap: {self.bootstrap_wall:.2f} s wall",
+            f"sim time: {self.sim_time:.2f} s   wall time: {self.wall_time:.2f} s",
+            f"events: {self.events:,} ({self.events_per_sec:,.0f}/s)",
+            f"deliveries: {self.deliveries:,} ({self.deliveries_per_sec:,.0f}/s)",
+            f"peak heap: {self.peak_pending:,}   handle pool: {self.handle_pool_size:,}",
+        ]
+        if self.streams > 1:
+            lines.append("per-stream delivery + structure:")
+            lines.append(outcomes_summary(self.per_stream, indent="  "))
+        if self.relay_spread is not None:
+            rs = self.relay_spread
+            lines.append(
+                f"relay-load spread: interior >=1 tree "
+                f"{rs['interior_any']}/{rs['population']}   every tree "
+                f"{rs['interior_all']}   sets differ: "
+                f"{'yes' if rs['distinct_sets'] else 'no'}   "
+                f"fan-in max {rs['fan_in_max']} mean {rs['fan_in_mean']:.2f}"
+            )
+        return "\n".join(lines)
 
 
 def run_scale_brisa(
@@ -90,6 +118,7 @@ def run_scale_brisa(
     latency: Optional[LatencyModel] = None,
     join_spacing: float = 0.05,
     settle: float = 45.0,
+    streams: int = 1,
 ) -> ScaleBrisaResult:
     """Run the full BRISA stack over a ``nodes``-population overlay.
 
@@ -98,11 +127,13 @@ def run_scale_brisa(
     baseline comparisons) or a checkpoint path.  The overlay is static
     during dissemination (shuffles stopped), so the heap drains exactly
     when the structure settles and the last message lands.
+
+    ``streams`` > 1 opens the paper's §IV workload at scale (DESIGN.md
+    §10): K publishers spread over the population emerge K independent
+    trees over the one overlay, each checked for the §II-B invariant,
+    with a relay-load-spread report on how interior duty distributes.
     """
-    if messages < 1:
-        raise ValueError("need at least one message to disseminate")
-    if rate <= 0:
-        raise ValueError("rate must be positive")
+    validate_workload(messages, rate, streams, population=nodes)
     cfg = config if config is not None else BrisaConfig(mode=mode)
     if degree is not None and hpv_config is None:
         # Same idiom as build_static_flood_overlay: size the membership
@@ -132,30 +163,29 @@ def run_scale_brisa(
     bootstrap_wall = time.perf_counter() - t0
     bed.stop_shuffles()
 
-    source = bed.nodes[0]
-    stream = StreamConfig(count=messages, rate=rate, payload_bytes=payload_bytes)
-    bed.metrics.set_phase(DISSEMINATION, bed.sim.now)
-    start = bed.sim.now
-    bed.start_stream(source, stream, mark_phase=False)
-    events_before = bed.sim.events_processed
-    t0 = time.perf_counter()
-    bed.sim.run_until_idle()
-    wall = max(time.perf_counter() - t0, 1e-9)
-    events = bed.sim.events_processed - events_before
-    span = max(bed.sim.now - start, 1e-9)
-    bed.metrics.close(bed.sim.now)
-    bed.network.account_keepalives(DISSEMINATION, span)
+    sources = spread_sources(bed.nodes, streams)
+    runner = ScaleRunner(
+        bed.sim, bed.network, sources,
+        messages=messages, rate=rate, payload_bytes=payload_bytes,
+    )
+    stats = runner.run()
+    wall = stats.wall_time
 
-    receivers = set(bed.alive_ids()) - {source.node_id}
-    deliveries = sum(
-        len(receivers & bed.metrics.deliveries.get((stream.stream_id, seq), {}).keys())
-        for seq in range(messages)
+    alive_nodes = bed.alive_nodes()
+    outcomes = brisa_stream_outcomes(sources, alive_nodes, bed.metrics, messages)
+    deliveries, delivered_fraction = aggregate_outcomes(outcomes, messages)
+    complete = all(o.structure_complete for o in outcomes)
+    reason = next(
+        (o.structure_reason for o in outcomes if not o.structure_complete), ""
     )
-    graph = extract_structure(bed.alive_nodes(), stream.stream_id)
-    complete, reason = is_complete_structure(
-        graph, source.node_id, set(bed.alive_ids())
-    )
+    source_ids = {s.node_id for s in sources}
+    receivers = set(bed.alive_ids()) - source_ids
     dup_total = sum(bed.metrics.duplicates.get(n, 0) for n in receivers)
+    relay_spread = None
+    if streams > 1:
+        from repro.experiments.structural import relay_load_spread
+
+        relay_spread = relay_load_spread(alive_nodes, range(streams)).to_dict()
     return ScaleBrisaResult(
         nodes=nodes,
         messages=messages,
@@ -164,18 +194,21 @@ def run_scale_brisa(
         mode=cfg.mode,
         bootstrap=bootstrap if bootstrap in ("simulated", "synthesized") else "checkpoint",
         bootstrap_wall=bootstrap_wall,
-        sim_time=span,
+        sim_time=stats.sim_time,
         wall_time=wall,
-        events=events,
-        events_per_sec=events / wall,
+        events=stats.events,
+        events_per_sec=stats.events / wall,
         deliveries=deliveries,
         deliveries_per_sec=deliveries / wall,
-        delivered_fraction=deliveries / (len(receivers) * messages) if receivers else 1.0,
+        delivered_fraction=delivered_fraction,
         structure_complete=complete,
         structure_reason=reason,
         duplicates_per_node=dup_total / len(receivers) if receivers else 0.0,
         peak_pending=bed.sim.peak_pending,
         handle_pool_size=bed.sim.pool_size,
+        streams=streams,
+        per_stream=[o.to_dict() for o in outcomes],
+        relay_spread=relay_spread,
     )
 
 

@@ -21,13 +21,16 @@ work — because the legacy chain spreads one delivery over several heap
 events and a raw heap-event rate would flatter it.  See DESIGN.md §2.
 
 Scenario entry points: :func:`run_scale_flood` (library / benchmark) and
-the ``repro scale`` CLI subcommand.
+the ``repro scale`` CLI subcommand.  The harness spine — source
+spreading, multi-stream injection windows, the timed drain and
+per-stream delivery accounting — is shared with the BRISA stack through
+:mod:`repro.experiments.scale_runner` (DESIGN.md §10).
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 from typing import Optional
 
 from repro.baselines.flood import FloodNode, SlottedFloodKernel, SlottedFloodNode
@@ -38,9 +41,17 @@ from repro.sim.churn import ChurnDriver
 from repro.sim.engine import Simulator
 from repro.sim.latency import ConstantLatency, LatencyModel, OccupancyLatency
 from repro.sim.message import Message
-from repro.sim.monitor import DISSEMINATION, Metrics
+from repro.sim.monitor import Metrics
 from repro.sim.network import Network
 from repro.sim.trace import ConstChurn, Trace
+from repro.experiments.scale_runner import (
+    ScaleRunner,
+    aggregate_outcomes,
+    flood_stream_outcomes,
+    outcomes_summary,
+    spread_sources,
+    validate_workload,
+)
 
 
 @dataclass
@@ -81,6 +92,11 @@ class ScaleFloodResult:
     #: Initial-population receivers still alive at the end of the run
     #: (the delivered_fraction denominator under churn).
     survivors: int = 0
+    #: Concurrent publishers (stream ``i`` driven by source ``i``).
+    streams: int = 1
+    #: Per-stream outcomes (``StreamOutcome.to_dict`` rows) when the run
+    #: drove more than one stream.
+    per_stream: list = field(default_factory=list)
 
     def to_dict(self) -> dict:
         return asdict(self)
@@ -88,7 +104,7 @@ class ScaleFloodResult:
     def summary(self) -> str:
         lines = [
             f"nodes: {self.nodes} (degree ~{self.degree})   kernel: {self.kernel}",
-            f"messages: {self.messages} x {self.payload_bytes} B",
+            f"messages: {self.streams} stream(s) x {self.messages} x {self.payload_bytes} B",
             f"delivered: {self.delivered_fraction * 100:.2f}%",
             f"sim time: {self.sim_time:.2f} s   wall time: {self.wall_time:.2f} s",
             f"events: {self.events:,} ({self.events_per_sec:,.0f}/s)",
@@ -96,6 +112,9 @@ class ScaleFloodResult:
             f"receptions: {self.receptions:,} ({self.receptions_per_sec:,.0f}/s)",
             f"peak heap: {self.peak_pending:,}   handle pool: {self.handle_pool_size:,}",
         ]
+        if self.streams > 1:
+            lines.append("per-stream delivery:")
+            lines.append(outcomes_summary(self.per_stream, indent="  "))
         if self.churn_percent:
             lines.append(
                 f"churn: {self.churn_percent:g}%   kills: {self.kills:,}   "
@@ -206,13 +225,20 @@ def run_scale_flood(
     kernel: str = "object",
     churn_percent: float = 0.0,
     churn_replacement: float = 1.0,
+    streams: int = 1,
 ) -> ScaleFloodResult:
-    """Disseminate ``messages`` flood messages over a ``nodes``-population
-    static overlay and measure engine throughput while doing it.
+    """Disseminate ``streams`` concurrent flood streams of ``messages``
+    messages each over a ``nodes``-population static overlay and measure
+    engine throughput while doing it.
+
+    ``streams`` > 1 opens the multi-stream scenario (DESIGN.md §10): K
+    publishers spread over the population each drive their own stream id
+    over the one shared overlay, and delivery is accounted per stream
+    (every live node except a stream's own source is its audience).
 
     ``churn_percent`` > 0 opens the churn-at-scale scenario (DESIGN.md
     §9): one constant-churn period spanning the injection window kills
-    that percentage of the live population at random instants (the
+    that percentage of the live population at random instants (every
     source is protected, as in §III-C) and joins ``churn_replacement``
     times as many fresh nodes through the regular HyParView join
     protocol.  Delivery is then reported over the *surviving* initial
@@ -220,10 +246,7 @@ def run_scale_flood(
     arrived (flooding has no anti-entropy), so they are excluded from
     the denominator.
     """
-    if messages < 1:
-        raise ValueError("need at least one message to disseminate")
-    if rate <= 0:
-        raise ValueError("rate must be positive")
+    validate_workload(messages, rate, streams, population=nodes)
     if not 0.0 <= churn_percent < 100.0:
         raise ValueError("churn_percent must be in [0, 100)")
     if churn_replacement < 0.0:
@@ -231,7 +254,10 @@ def run_scale_flood(
     sim, net, flood_nodes = build_static_flood_overlay(
         nodes, degree=degree, seed=seed, latency=latency, kernel=kernel
     )
-    source = flood_nodes[0]
+    sources = spread_sources(flood_nodes, streams)
+    runner = ScaleRunner(
+        sim, net, sources, messages=messages, rate=rate, payload_bytes=payload_bytes
+    )
     driver = None
     start = sim.now
     if churn_percent:
@@ -240,8 +266,8 @@ def run_scale_flood(
         net.autostart_timers = False
         span = messages / rate
         join_factory = flood_node_factory(
-            kernel, net, source.hpv_config,
-            slot_kernel=getattr(source, "kernel", None),
+            kernel, net, flood_nodes[0].hpv_config,
+            slot_kernel=getattr(flood_nodes[0], "kernel", None),
         )
         contact_rng = sim.rng("scale-churn-contacts")
         initial_ids = [node.node_id for node in flood_nodes]
@@ -249,8 +275,8 @@ def run_scale_flood(
         def join_fn():
             node = net.spawn(join_factory)
             # Rejection-sample a live contact among the initial
-            # population (expected O(1) tries; the protected source
-            # guarantees termination).
+            # population (expected O(1) tries; the protected sources
+            # guarantee termination).
             while True:
                 contact = contact_rng.choice(initial_ids)
                 if net.alive(contact):
@@ -261,49 +287,39 @@ def run_scale_flood(
         trace = Trace((ConstChurn(start, start + span, churn_percent, span),))
         driver = ChurnDriver(
             sim, net, trace, join_fn,
-            protected=(source.node_id,), seed_label="scale-churn",
+            protected=tuple(s.node_id for s in sources), seed_label="scale-churn",
         )
         driver.replacement_ratio = churn_replacement
         driver.apply()
-    net.metrics.set_phase(DISSEMINATION, sim.now)
-    for seq in range(messages):
-        sim.call_at(start + seq / rate, source.inject, 0, seq, payload_bytes)
-    events_before = sim.events_processed
-    t0 = time.perf_counter()
     # The overlay is static and shuffle-free: the heap drains exactly when
     # the last in-flight message lands (under churn: when the last repair
     # exchange settles), so the batched loop needs no bound.
-    sim.run_until_idle()
-    wall = time.perf_counter() - t0
-    events = sim.events_processed - events_before
-    span = max(sim.now - start, 1e-9)
-    net.metrics.close(sim.now)
-    net.account_keepalives(DISSEMINATION, span)
+    stats = runner.run()
 
-    receivers = [node for node in flood_nodes[1:] if node.alive]
-    deliveries = sum(node.delivered_count(0) for node in receivers)
+    alive_initial = [node for node in flood_nodes if node.alive]
+    outcomes = flood_stream_outcomes(sources, alive_initial, messages)
+    deliveries, delivered_fraction = aggregate_outcomes(outcomes, messages)
     if kernel == "slotted":
-        receptions = source.kernel.receptions
+        receptions = flood_nodes[0].kernel.receptions
     else:
-        m = net.metrics
-        receptions = sum(len(per_node) for per_node in m.deliveries.values())
-        receptions += sum(m.duplicates.values())
-    wall = max(wall, 1e-9)
+        receptions = sum(
+            shard.first_deliveries + shard.duplicate_receptions
+            for shard in net.metrics.streams.values()
+        )
+    wall = stats.wall_time
     return ScaleFloodResult(
         nodes=nodes,
         degree=degree,
         messages=messages,
         payload_bytes=payload_bytes,
         seed=seed,
-        sim_time=span,
+        sim_time=stats.sim_time,
         wall_time=wall,
-        events=events,
-        events_per_sec=events / wall,
+        events=stats.events,
+        events_per_sec=stats.events / wall,
         deliveries=deliveries,
         deliveries_per_sec=deliveries / wall,
-        delivered_fraction=(
-            deliveries / (len(receivers) * messages) if receivers else 1.0
-        ),
+        delivered_fraction=delivered_fraction,
         peak_pending=sim.peak_pending,
         handle_pool_size=sim.pool_size,
         kernel=kernel,
@@ -312,7 +328,9 @@ def run_scale_flood(
         churn_percent=churn_percent,
         kills=driver.stats.kills if driver else 0,
         joins=driver.stats.joins if driver else 0,
-        survivors=len(receivers),
+        survivors=outcomes[0].receivers,
+        streams=streams,
+        per_stream=[o.to_dict() for o in outcomes],
     )
 
 
@@ -695,4 +713,105 @@ def slotted_microbench(
         receptions=obj.receptions,
         object_receptions_per_sec=obj.receptions_per_sec,
         slotted_receptions_per_sec=slotted.receptions_per_sec,
+    )
+
+
+# ----------------------------------------------------------------------
+# Multi-stream microbenchmark: K concurrent streams vs one (DESIGN.md §10)
+# ----------------------------------------------------------------------
+@dataclass
+class MultistreamMicrobenchResult:
+    """Per-reception efficiency of the slotted kernel under concurrent
+    sources: aggregate receptions/s with ``streams`` publishers active
+    vs a single publisher on the identical overlay and stream shape.
+
+    Per-stream slot planes exist so K streams stay on the array path; if
+    they do, the cost of a reception must not depend on how many other
+    streams are in flight, and ``efficiency`` — the aggregate-throughput
+    ratio — stays near 1.0 (the acceptance gate is >= 0.5).
+    """
+
+    nodes: int
+    messages: int
+    streams: int
+    single_receptions: int
+    multi_receptions: int
+    single_receptions_per_sec: float
+    multi_receptions_per_sec: float
+
+    #: The K-stream run kept for BENCH reporting (not part of to_dict).
+    multi_result: Optional[ScaleFloodResult] = None
+
+    @property
+    def efficiency(self) -> float:
+        """Per-reception throughput retained at K streams (the
+        acceptance metric): aggregate multi-stream receptions/s over the
+        single-stream rate."""
+        return self.multi_receptions_per_sec / max(
+            self.single_receptions_per_sec, 1e-9
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "nodes": self.nodes,
+            "messages": self.messages,
+            "streams": self.streams,
+            "single_receptions": self.single_receptions,
+            "multi_receptions": self.multi_receptions,
+            "single_receptions_per_sec": self.single_receptions_per_sec,
+            "multi_receptions_per_sec": self.multi_receptions_per_sec,
+            "efficiency": self.efficiency,
+        }
+
+    def summary(self) -> str:
+        return "\n".join(
+            [
+                f"workload: {self.nodes} nodes x {self.messages} messages/stream "
+                f"(slotted kernel)",
+                f"1 stream:  {self.single_receptions_per_sec:,.0f} receptions/s "
+                f"({self.single_receptions:,} receptions)",
+                f"{self.streams} streams: {self.multi_receptions_per_sec:,.0f} "
+                f"receptions/s aggregate ({self.multi_receptions:,} receptions)",
+                f"per-stream efficiency: {self.efficiency:.2f}x",
+            ]
+        )
+
+
+def multistream_microbench(
+    nodes: int = 10_000, messages: int = 10, *,
+    streams: int = 8, degree: int = 5, rate: float = 20.0, seed: int = 3,
+    repeats: int = 2,
+) -> MultistreamMicrobenchResult:
+    """Measure the slotted kernel's per-reception throughput at
+    ``streams`` concurrent publishers against a single publisher.
+
+    Both sides run the same seed, overlay and per-stream injection
+    schedule — the K-stream side simply drives K sources spread over the
+    population — so the comparison isolates the cost of concurrent
+    slot planes.  The best of ``repeats`` runs is kept per side.
+    """
+
+    def best(k: int) -> ScaleFloodResult:
+        return max(
+            (
+                run_scale_flood(
+                    nodes, messages, degree=degree, rate=rate, seed=seed,
+                    kernel="slotted", streams=k,
+                )
+                for _ in range(repeats)
+            ),
+            key=lambda r: r.receptions_per_sec,
+        )
+
+    single = best(1)
+    multi = best(streams)
+    return MultistreamMicrobenchResult(
+        nodes=nodes,
+        messages=messages,
+        streams=streams,
+        single_receptions=single.receptions,
+        multi_receptions=multi.receptions,
+        single_receptions_per_sec=single.receptions_per_sec,
+        multi_receptions_per_sec=multi.receptions_per_sec,
+        multi_result=multi,
     )

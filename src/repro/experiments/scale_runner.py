@@ -1,0 +1,297 @@
+"""Shared multi-stream scale harness (DESIGN.md §10).
+
+Every scale scenario has the same spine: build a stack, mark the
+dissemination phase, schedule the injection window, drain the heap while
+timing the loop, then account deliveries.  PR 1–4 grew two copies of
+that spine (``scale_flood`` / ``scale_brisa``); this module extracts it
+once and generalizes the workload from one lonely publisher to ``K``
+concurrent sources — the paper's §IV *Multiple Trees* claim, and the
+regime the intensive-dissemination literature (D'Angelo & Ferretti;
+Moreno et al.) treats as the workload that separates efficient
+protocols from flooding.
+
+Pieces, in stack order:
+
+- :func:`spread_sources` — K publishers spread evenly over a population;
+- :class:`ScaleRunner` — phase mark + per-stream injection windows +
+  timed drain, returning engine telemetry (:class:`DriveStats`);
+- :func:`flood_stream_outcomes` / :func:`brisa_stream_outcomes` — the
+  per-stream delivery accounting of the two stacks (node-state walk for
+  flood, which stays correct under churn on both kernels;
+  :meth:`Metrics.delivered_fraction` shards for BRISA, plus per-stream
+  §II-B structure invariants);
+- :func:`aggregate_outcomes` / :func:`outcomes_summary` — the roll-up
+  and the report block both stacks print;
+- :func:`merge_json` — the merge-write used for every BENCH/JSON
+  artifact (CLI ``--json`` and the benchmark suite share it).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass
+from typing import Optional, Sequence
+
+from repro.core.structure import extract_structure, is_complete_structure
+from repro.ids import NodeId
+from repro.sim.engine import Simulator
+from repro.sim.monitor import DISSEMINATION
+
+
+@dataclass
+class StreamOutcome:
+    """Delivery (and, for BRISA, structure) outcome of one stream."""
+
+    stream: int
+    source: NodeId
+    #: Audience size the fraction is measured over (survivors under churn).
+    receivers: int
+    #: First-time receptions of this stream across the audience.
+    deliveries: int
+    delivered_fraction: float
+    #: §II-B invariant for structured stacks; None for flood.
+    structure_complete: Optional[bool] = None
+    structure_reason: str = ""
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+@dataclass
+class DriveStats:
+    """Engine telemetry of one drained injection window."""
+
+    start: float
+    sim_time: float
+    wall_time: float
+    events: int
+
+
+def validate_workload(
+    messages: int, rate: float, streams: int = 1, population: Optional[int] = None
+) -> None:
+    """Fail-fast workload validation, shared by both stacks' entry
+    points so degenerate input is rejected *before* the (potentially
+    minutes-long at xxl) overlay build.  :class:`ScaleRunner` re-checks
+    at construction for library callers that skip the entry points."""
+    if messages < 1:
+        raise ValueError("need at least one message to disseminate")
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    if streams < 1:
+        raise ValueError("streams must be >= 1")
+    if population is not None and streams > population:
+        raise ValueError(f"cannot spread {streams} sources over {population} nodes")
+
+
+def spread_sources(nodes: Sequence, streams: int) -> list:
+    """Pick ``streams`` publishers spread evenly over ``nodes``.
+
+    Stream ``i``'s source is ``nodes[i * n // streams]`` — deterministic,
+    collision-free for ``streams <= n``, and spanning the population so
+    the emerged trees root in different overlay neighbourhoods.
+    """
+    if streams < 1:
+        raise ValueError("streams must be >= 1")
+    n = len(nodes)
+    if streams > n:
+        raise ValueError(f"cannot spread {streams} sources over {n} nodes")
+    return [nodes[(i * n) // streams] for i in range(streams)]
+
+
+class ScaleRunner:
+    """One multi-stream injection window over an already-built stack.
+
+    The runner owns the shared spine only — phase marking, the K
+    injection schedules (stream ``i`` is driven by ``sources[i]`` with
+    ``stream_id=i``), the timed drain and the closing keep-alive
+    accounting.  Stack construction and result assembly stay with the
+    callers, which is what makes one runner serve both stacks.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network,
+        sources: Sequence,
+        *,
+        messages: int,
+        rate: float,
+        payload_bytes: int,
+    ) -> None:
+        validate_workload(messages, rate)
+        self.sim = sim
+        self.network = network
+        self.sources = list(sources)
+        self.messages = messages
+        self.rate = rate
+        self.payload_bytes = payload_bytes
+
+    def schedule(self) -> float:
+        """Mark the dissemination phase and schedule every stream's
+        injection window (all streams share the window: sequence ``s``
+        of every stream goes out at ``start + s/rate``).  Returns the
+        window start."""
+        sim = self.sim
+        start = sim.now
+        self.network.metrics.set_phase(DISSEMINATION, start)
+        rate = self.rate
+        payload = self.payload_bytes
+        for stream_id, source in enumerate(self.sources):
+            if hasattr(source, "become_source"):
+                source.become_source(stream_id)
+            for seq in range(self.messages):
+                sim.call_at(start + seq / rate, source.inject, stream_id, seq, payload)
+        return start
+
+    def drain(self, start: float) -> DriveStats:
+        """Run the heap to idle, timing the loop, then close the phase
+        and account keep-alives over the drained window."""
+        sim = self.sim
+        events_before = sim.events_processed
+        t0 = time.perf_counter()
+        sim.run_until_idle()
+        wall = max(time.perf_counter() - t0, 1e-9)
+        span = max(sim.now - start, 1e-9)
+        self.network.metrics.close(sim.now)
+        self.network.account_keepalives(DISSEMINATION, span)
+        return DriveStats(
+            start=start,
+            sim_time=span,
+            wall_time=wall,
+            events=sim.events_processed - events_before,
+        )
+
+    def run(self) -> DriveStats:
+        """Schedule + drain in one call (the common case)."""
+        return self.drain(self.schedule())
+
+
+# ----------------------------------------------------------------------
+# Per-stream delivery accounting
+# ----------------------------------------------------------------------
+def flood_stream_outcomes(
+    sources: Sequence, alive_nodes: Sequence, messages: int
+) -> list[StreamOutcome]:
+    """Flood accounting: walk per-node delivered counts.
+
+    Node state is the one book both flood kernels keep at scale
+    (``record_deliveries=False`` leaves Metrics without records, and the
+    slotted planes answer ``delivered_count`` directly), and restricting
+    ``alive_nodes`` to survivors makes the same walk correct under
+    churn.  Each stream's audience is every live node except its own
+    source — concurrent publishers are subscribers of each other.
+    """
+    outcomes = []
+    for stream_id, source in enumerate(sources):
+        receivers = [node for node in alive_nodes if node is not source]
+        deliveries = sum(node.delivered_count(stream_id) for node in receivers)
+        expected = len(receivers) * messages
+        outcomes.append(
+            StreamOutcome(
+                stream=stream_id,
+                source=source.node_id,
+                receivers=len(receivers),
+                deliveries=deliveries,
+                delivered_fraction=deliveries / expected if expected else 1.0,
+            )
+        )
+    return outcomes
+
+
+def brisa_stream_outcomes(
+    sources: Sequence,
+    alive_nodes: Sequence,
+    metrics,
+    messages: int,
+) -> list[StreamOutcome]:
+    """BRISA accounting: sharded Metrics counts + §II-B structure.
+
+    Delivery counts come from :meth:`Metrics.stream_delivery_count` over
+    the half-open ``[0, messages)`` window; every stream must also have
+    emerged a complete, acyclic structure over the live population.
+    """
+    alive_ids = {node.node_id for node in alive_nodes}
+    outcomes = []
+    for stream_id, source in enumerate(sources):
+        receivers = alive_ids - {source.node_id}
+        deliveries = metrics.stream_delivery_count(
+            stream_id, receivers, window=(0, messages)
+        )
+        expected = len(receivers) * messages
+        graph = extract_structure(alive_nodes, stream_id)
+        complete, reason = is_complete_structure(graph, source.node_id, alive_ids)
+        outcomes.append(
+            StreamOutcome(
+                stream=stream_id,
+                source=source.node_id,
+                receivers=len(receivers),
+                deliveries=deliveries,
+                delivered_fraction=deliveries / expected if expected else 1.0,
+                structure_complete=complete,
+                structure_reason=reason,
+            )
+        )
+    return outcomes
+
+
+def aggregate_outcomes(outcomes: Sequence[StreamOutcome], messages: int) -> tuple[int, float]:
+    """Total deliveries and the aggregate delivered fraction over every
+    (stream, sequence, receiver) pair."""
+    total = sum(o.deliveries for o in outcomes)
+    expected = sum(o.receivers for o in outcomes) * messages
+    return total, (total / expected if expected else 1.0)
+
+
+def outcomes_summary(outcomes: Sequence, indent: str = "") -> str:
+    """The per-stream report block (printed when K > 1); both stacks'
+    result summaries render through it.  Accepts :class:`StreamOutcome`
+    objects or their ``to_dict`` rows (results store the latter)."""
+    lines = []
+    for o in outcomes:
+        row = o if isinstance(o, dict) else o.to_dict()
+        line = (
+            f"{indent}stream {row['stream']} (source {row['source']}): "
+            f"{row['delivered_fraction'] * 100:.2f}% to "
+            f"{row['receivers']:,} receivers"
+        )
+        if row.get("structure_complete") is not None:
+            line += (
+                "   structure: "
+                + (
+                    "complete/acyclic"
+                    if row["structure_complete"]
+                    else row["structure_reason"]
+                )
+            )
+        lines.append(line)
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# JSON merge-write
+# ----------------------------------------------------------------------
+def merge_json(path, updates: dict) -> dict:
+    """Merge ``updates`` into a JSON artifact, preserving entries written
+    by other runs — e.g. the xxl benchmarks (nightly CI) and the
+    default-tier benchmarks update disjoint keys of one BENCH file.
+
+    A corrupt or non-object existing file is replaced rather than
+    raised on: these are regenerable artifacts, and a truncated file
+    from an interrupted run must not cost the finished run its results.
+    """
+    import pathlib
+
+    path = pathlib.Path(path)
+    data: dict = {}
+    if path.exists():
+        try:
+            loaded = json.loads(path.read_text())
+        except (json.JSONDecodeError, OSError):
+            loaded = None
+        if isinstance(loaded, dict):
+            data = loaded
+    data.update(updates)
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return data

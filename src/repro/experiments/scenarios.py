@@ -49,22 +49,32 @@ from repro.experiments.scale_brisa import (
 )
 from repro.experiments.scale_flood import (
     MicrobenchResult,
+    MultistreamMicrobenchResult,
     OccupancyMicrobenchResult,
     ScaleFloodResult,
     SlottedMicrobenchResult,
     build_static_flood_overlay,
     engine_microbench,
+    multistream_microbench,
     occupancy_microbench,
     run_scale_flood,
     slotted_microbench,
 )
+from repro.experiments.scale_runner import (
+    ScaleRunner,
+    StreamOutcome,
+    merge_json,
+    spread_sources,
+)
 from repro.experiments.structural import (
     Fig2Result,
     Fig8Result,
+    RelayLoadSpread,
     StructureDistributions,
     fig2_duplicates,
     fig6_fig7_structure,
     fig8_tree_shape,
+    relay_load_spread,
 )
 
 __all__ = [
@@ -79,12 +89,16 @@ __all__ = [
     "Fig9Result",
     "LARGE",
     "MicrobenchResult",
+    "MultistreamMicrobenchResult",
     "OccupancyMicrobenchResult",
     "PAPER",
+    "RelayLoadSpread",
     "Scale",
     "ScaleBrisaResult",
     "ScaleFloodResult",
+    "ScaleRunner",
     "SlottedMicrobenchResult",
+    "StreamOutcome",
     "slotted_microbench",
     "XL",
     "XXL",
@@ -107,6 +121,10 @@ __all__ = [
     "fig8_tree_shape",
     "fig9_routing_delays",
     "get_scale",
+    "merge_json",
+    "multistream_microbench",
+    "relay_load_spread",
+    "spread_sources",
     "table1_churn",
     "table2_latency",
 ]

@@ -1,18 +1,24 @@
-"""Structural-property scenarios: Figs. 2, 6, 7 and 8 (§III-A).
+"""Structural-property scenarios: Figs. 2, 6, 7 and 8 (§III-A), plus the
+§IV relay-load-spread analysis for multi-stream runs.
 
-All four study the *shape* of what emerges: flooding duplicate counts
-(the motivation), then depth/degree distributions and sample tree shapes
-of the structures BRISA builds with the first-come strategy.
+The paper artifacts study the *shape* of what emerges: flooding duplicate
+counts (the motivation), then depth/degree distributions and sample tree
+shapes of the structures BRISA builds with the first-come strategy.
+:func:`relay_load_spread` measures the §IV *Multiple Trees* claim — that
+independent per-stream trees over one overlay spread relay load
+SplitStream-style — on any multi-stream run (scale runner, examples).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
+from typing import Iterable, Sequence
 
 from repro.config import BrisaConfig, HyParViewConfig, StreamConfig
-from repro.core.structure import extract_structure, structure_summary, to_dot
+from repro.core.structure import extract_structure, out_degrees, structure_summary, to_dot
 from repro.experiments.common import build_brisa_testbed, build_flood_testbed
 from repro.experiments.scale import Scale, get_scale
+from repro.ids import StreamId
 from repro.metrics.stats import CDF
 from repro.metrics.structure_analysis import degree_distribution, depth_distribution
 
@@ -58,6 +64,97 @@ def fig2_duplicates(
         )
         result.by_view[view] = CDF.of(float(d) for d in run.duplicates_per_node())
     return result
+
+
+# ----------------------------------------------------------------------
+# §IV — relay-load spread across concurrent per-stream trees
+# ----------------------------------------------------------------------
+@dataclass
+class RelayLoadSpread:
+    """How relay duty distributes over the population when several
+    streams emerge independent structures on one shared overlay (§IV,
+    *Multiple Trees and Multiple Parents*; SplitStream's load-balancing
+    goal).
+
+    A node is *interior* in a stream when it serves at least one child
+    in that stream's emerged structure.  ``fan_in`` measures how many
+    streams recruit one node as a relay (the relay duties fanning in on
+    it); ``children`` measures its total forwarding load — children
+    served summed across every stream.
+    """
+
+    population: int
+    streams: int
+    #: stream id -> interior-node count in that stream's structure.
+    interior_per_stream: dict[StreamId, int]
+    #: Nodes interior in at least one stream.
+    interior_any: int
+    #: Nodes interior in every stream.
+    interior_all: int
+    #: Do the interior-node sets actually differ across streams?  (The
+    #: §IV claim: every stream emerges its own structure from its own
+    #: flood, so the relay sets should not coincide.)
+    distinct_sets: bool
+    #: Max/mean number of streams a node relays for (mean over nodes
+    #: interior in >= 1 stream).
+    fan_in_max: int
+    fan_in_mean: float
+    #: Max/mean total children served across all streams (same support).
+    children_max: int
+    children_mean: float
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    def summary(self) -> str:
+        per_stream = "  ".join(
+            f"s{stream}:{count}" for stream, count in sorted(self.interior_per_stream.items())
+        )
+        return "\n".join(
+            [
+                f"interior nodes per stream: {per_stream}",
+                f"interior in >=1 tree: {self.interior_any}/{self.population}   "
+                f"in every tree: {self.interior_all}   "
+                f"sets differ: {'yes' if self.distinct_sets else 'no'}",
+                f"relay fan-in (trees/node): max {self.fan_in_max}  "
+                f"mean {self.fan_in_mean:.2f}   "
+                f"children/node: max {self.children_max}  "
+                f"mean {self.children_mean:.2f}",
+            ]
+        )
+
+
+def relay_load_spread(nodes: Iterable, streams: Sequence[StreamId]) -> RelayLoadSpread:
+    """Measure relay-load spread over the per-stream structures emerged
+    by ``nodes`` for the given ``streams`` (promoted here from the
+    ``examples/multi_source.py`` analysis so the scale runner and the
+    benchmarks can gate on it)."""
+    nodes = list(nodes)
+    interior_sets: dict[StreamId, frozenset] = {}
+    children: dict = {}
+    for stream in streams:
+        g = extract_structure(nodes, stream)
+        degs = out_degrees(g)
+        interior_sets[stream] = frozenset(n for n, d in degs.items() if d > 0)
+        for n, d in degs.items():
+            if d > 0:
+                children[n] = children.get(n, 0) + d
+    sets = list(interior_sets.values())
+    union = frozenset().union(*sets) if sets else frozenset()
+    common = frozenset.intersection(*sets) if sets else frozenset()
+    fan_in = {n: sum(1 for s in sets if n in s) for n in union}
+    return RelayLoadSpread(
+        population=len(nodes),
+        streams=len(sets),
+        interior_per_stream={stream: len(s) for stream, s in interior_sets.items()},
+        interior_any=len(union),
+        interior_all=len(common),
+        distinct_sets=len(set(sets)) > 1,
+        fan_in_max=max(fan_in.values(), default=0),
+        fan_in_mean=(sum(fan_in.values()) / len(fan_in)) if fan_in else 0.0,
+        children_max=max(children.values(), default=0),
+        children_mean=(sum(children.values()) / len(children)) if children else 0.0,
+    )
 
 
 # ----------------------------------------------------------------------

@@ -14,8 +14,9 @@ at analysis time (see :mod:`repro.metrics.stats`), per the HPC guides'
 from __future__ import annotations
 
 from collections import defaultdict
+from collections.abc import Mapping
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Iterable, Optional
 
 from repro.ids import NodeId, StreamId
 
@@ -60,6 +61,108 @@ class ConstructionProbe:
         return self.end - self.start
 
 
+class StreamMetrics:
+    """Delivery/bandwidth shard of one stream (DESIGN.md §10).
+
+    Multi-stream runs used to funnel every reception of every stream
+    through one ``(stream, seq)``-keyed nested dict; sharding keys the
+    hot-path bookkeeping by plain ``seq`` inside a per-stream object
+    instead (no tuple allocation, no shared dict), and gives per-stream
+    delivery/bandwidth reporting direct access to its own stream's books.
+    """
+
+    __slots__ = (
+        "stream",
+        "injections",
+        "deliveries",
+        "duplicates",
+        "first_deliveries",
+        "duplicate_receptions",
+        "payload_bytes",
+    )
+
+    def __init__(self, stream: StreamId) -> None:
+        self.stream = stream
+        #: seq -> injection time at the source.
+        self.injections: dict[int, float] = {}
+        #: seq -> node -> DeliveryRecord (first delivery only).
+        self.deliveries: dict[int, dict[NodeId, DeliveryRecord]] = {}
+        #: node -> duplicate receptions on this stream.
+        self.duplicates: dict[NodeId, int] = defaultdict(int)
+        #: Total first-time receptions recorded on this stream.
+        self.first_deliveries = 0
+        #: Total duplicate receptions recorded on this stream.
+        self.duplicate_receptions = 0
+        #: Payload bytes of first-time receptions (per-stream goodput).
+        self.payload_bytes = 0
+
+
+class _StreamKeyedView(Mapping):
+    """Read-only ``(stream, seq)``-keyed view over per-stream shards.
+
+    Keeps the historical :class:`Metrics` surface — e.g.
+    ``metrics.deliveries[(stream, seq)]`` — working unchanged on top of
+    the sharded store; all writes go through the ``record_*`` methods.
+    """
+
+    __slots__ = ("_streams", "_attr")
+
+    def __init__(self, streams: dict[StreamId, StreamMetrics], attr: str) -> None:
+        self._streams = streams
+        self._attr = attr
+
+    def __getitem__(self, key):
+        stream, seq = key
+        shard = self._streams.get(stream)
+        if shard is None:
+            raise KeyError(key)
+        return getattr(shard, self._attr)[seq]
+
+    def __iter__(self):
+        for stream, shard in self._streams.items():
+            for seq in getattr(shard, self._attr):
+                yield (stream, seq)
+
+    def __len__(self) -> int:
+        return sum(len(getattr(shard, self._attr)) for shard in self._streams.values())
+
+
+class _DuplicatesView(Mapping):
+    """Node-keyed duplicates aggregated across all stream shards.
+
+    Per-stream counts live in :attr:`StreamMetrics.duplicates`; this view
+    preserves the historical all-streams ``metrics.duplicates[node]``
+    surface for analysis code.
+    """
+
+    __slots__ = ("_streams",)
+
+    def __init__(self, streams: dict[StreamId, StreamMetrics]) -> None:
+        self._streams = streams
+
+    def __getitem__(self, node: NodeId) -> int:
+        total = 0
+        found = False
+        for shard in self._streams.values():
+            if node in shard.duplicates:
+                found = True
+                total += shard.duplicates[node]
+        if not found:
+            raise KeyError(node)
+        return total
+
+    def __iter__(self):
+        seen: set[NodeId] = set()
+        for shard in self._streams.values():
+            for node in shard.duplicates:
+                if node not in seen:
+                    seen.add(node)
+                    yield node
+
+    def __len__(self) -> int:
+        return len({n for shard in self._streams.values() for n in shard.duplicates})
+
+
 class Metrics:
     """Central metric sink shared by all nodes of one simulation."""
 
@@ -83,17 +186,30 @@ class Metrics:
         self.bytes_received: dict[NodeId, dict[str, int]] = defaultdict(lambda: defaultdict(int))
         # message-kind -> phase -> count
         self.msg_counts: dict[str, dict[str, int]] = defaultdict(lambda: defaultdict(int))
-        # (stream, seq) -> node -> DeliveryRecord (first delivery only)
-        self.deliveries: dict[tuple[StreamId, int], dict[NodeId, DeliveryRecord]] = defaultdict(dict)
-        # node -> number of duplicate receptions (all streams)
-        self.duplicates: dict[NodeId, int] = defaultdict(int)
-        # (stream, seq) -> injection time at the source
-        self.injections: dict[tuple[StreamId, int], float] = {}
+        #: Per-stream delivery/bandwidth shards (DESIGN.md §10): every
+        #: injection/delivery/duplicate is booked in its own stream's
+        #: :class:`StreamMetrics`, so concurrent streams never contend on
+        #: one nested dict and per-stream reports read their shard directly.
+        self.streams: dict[StreamId, StreamMetrics] = {}
+        #: (stream, seq) -> node -> DeliveryRecord — compatibility view
+        #: over the shards (first delivery only).
+        self.deliveries = _StreamKeyedView(self.streams, "deliveries")
+        #: node -> duplicate receptions across all streams (view).
+        self.duplicates = _DuplicatesView(self.streams)
+        #: (stream, seq) -> injection time at the source (view).
+        self.injections = _StreamKeyedView(self.streams, "injections")
         self.repair_events: list[RepairEvent] = []
         self.parent_losses: list[tuple[float, NodeId]] = []
         self.orphan_events: list[tuple[float, NodeId]] = []
         self.construction_probes: list[ConstructionProbe] = []
         self.counters: dict[str, int] = defaultdict(int)
+
+    def stream(self, stream: StreamId) -> StreamMetrics:
+        """The per-stream shard for ``stream`` (created on first touch)."""
+        shard = self.streams.get(stream)
+        if shard is None:
+            shard = self.streams[stream] = StreamMetrics(stream)
+        return shard
 
     # ------------------------------------------------------------------
     # Phases
@@ -154,7 +270,7 @@ class Metrics:
     # Deliveries
     # ------------------------------------------------------------------
     def record_injection(self, stream: StreamId, seq: int, time: float) -> None:
-        self.injections[(stream, seq)] = time
+        self.stream(stream).injections[seq] = time
 
     def record_delivery(
         self,
@@ -165,21 +281,33 @@ class Metrics:
         sender: NodeId,
         hops: int,
         path_delay: float,
+        payload_bytes: int = 0,
     ) -> bool:
-        """Record a reception; returns True iff it was the first delivery."""
-        key = (stream, seq)
-        per_node = self.deliveries[key]
+        """Record a reception; returns True iff it was the first delivery.
+
+        ``payload_bytes`` (when the caller knows it) accrues to the
+        stream shard's goodput total on first deliveries only.
+        """
+        shard = self.stream(stream)
+        per_node = shard.deliveries.get(seq)
+        if per_node is None:
+            per_node = shard.deliveries[seq] = {}
         if node in per_node:
-            self.duplicates[node] += 1
+            shard.duplicates[node] += 1
+            shard.duplicate_receptions += 1
             return False
+        shard.first_deliveries += 1
+        shard.payload_bytes += payload_bytes
         if self.record_deliveries:
             per_node[node] = DeliveryRecord(time, sender, hops, path_delay)
         else:  # still need first/dup distinction, so store a sentinel
             per_node[node] = _SENTINEL
         return True
 
-    def record_duplicate(self, node: NodeId) -> None:
-        self.duplicates[node] += 1
+    def record_duplicate(self, node: NodeId, stream: StreamId = 0) -> None:
+        shard = self.stream(stream)
+        shard.duplicates[node] += 1
+        shard.duplicate_receptions += 1
 
     # ------------------------------------------------------------------
     # Repairs & probes
@@ -205,7 +333,8 @@ class Metrics:
     # Simple queries (heavier analysis lives in repro.metrics)
     # ------------------------------------------------------------------
     def duplicates_per_node(self, nodes) -> list[int]:
-        return [self.duplicates.get(n, 0) for n in nodes]
+        shards = self.streams.values()
+        return [sum(shard.duplicates.get(n, 0) for shard in shards) for n in nodes]
 
     def delivery_times(self, stream: StreamId, seq: int) -> dict[NodeId, float]:
         return {
@@ -213,6 +342,70 @@ class Metrics:
             for n, rec in self.deliveries.get((stream, seq), {}).items()
             if rec is not _SENTINEL
         }
+
+    def stream_delivery_count(
+        self,
+        stream: StreamId,
+        receivers: Iterable[NodeId],
+        *,
+        window: Optional[tuple[int, int]] = None,
+    ) -> int:
+        """First deliveries of ``stream`` observed by ``receivers`` over a
+        half-open ``[lo, hi)`` sequence ``window``.
+
+        ``window=None`` spans every injection recorded for the stream —
+        ``[min seq, max seq + 1)``.  The window is half-open so callers
+        can split a stream into disjoint ranges (``(0, k)`` + ``(k, n)``)
+        without double-counting the boundary sequence.
+        """
+        if not isinstance(receivers, set):
+            receivers = set(receivers)
+        shard = self.streams.get(stream)
+        lo, hi = self._resolve_window(shard, window)
+        if not receivers or hi <= lo or shard is None:
+            return 0
+        deliveries = shard.deliveries
+        got = 0
+        for seq in range(lo, hi):
+            per_node = deliveries.get(seq)
+            if per_node:
+                got += len(receivers & per_node.keys())
+        return got
+
+    def delivered_fraction(
+        self,
+        stream: StreamId,
+        receivers: Iterable[NodeId],
+        *,
+        window: Optional[tuple[int, int]] = None,
+    ) -> float:
+        """Fraction of (sequence, receiver) pairs of ``stream`` delivered,
+        over the half-open ``window`` (see :meth:`stream_delivery_count`).
+
+        An empty audience or an empty window expects zero pairs and is
+        vacuously complete (1.0); a window with no recorded injections
+        and no deliveries is 0.0.
+        """
+        if not isinstance(receivers, set):
+            receivers = set(receivers)
+        if not receivers:
+            return 1.0
+        shard = self.streams.get(stream)
+        lo, hi = self._resolve_window(shard, window)
+        if hi <= lo:
+            return 1.0 if window is not None else 0.0
+        got = self.stream_delivery_count(stream, receivers, window=(lo, hi))
+        return got / ((hi - lo) * len(receivers))
+
+    @staticmethod
+    def _resolve_window(
+        shard: Optional[StreamMetrics], window: Optional[tuple[int, int]]
+    ) -> tuple[int, int]:
+        if window is not None:
+            return window
+        if shard is None or not shard.injections:
+            return (0, 0)
+        return (min(shard.injections), max(shard.injections) + 1)
 
     def total_bytes(self, phase: Optional[str] = None) -> int:
         total = 0

@@ -88,6 +88,37 @@ class TestChurnDeterminism:
             assert result.delivered_fraction >= 0.99
 
 
+class TestMultiStreamChurnAtScale:
+    """Multi-stream churn at the xl rung (DESIGN.md §10): 4 concurrent
+    publishers over a 10k slotted overlay losing 1% of the population
+    mid-stream — every stream must still reach ≥99% of its surviving
+    audience, on recycled slot planes."""
+
+    def test_xl_multistream_churn_slotted(self):
+        result = run_scale_flood(
+            10_000, 6, rate=20.0, seed=3,
+            kernel="slotted", churn_percent=1.0, streams=4,
+        )
+        assert result.streams == 4
+        assert result.kills > 0
+        assert result.survivors < 10_000 - 1
+        assert len(result.per_stream) == 4
+        # Sources are spread over the population, all protected.
+        assert len({row["source"] for row in result.per_stream}) == 4
+        for row in result.per_stream:
+            assert row["delivered_fraction"] >= 0.99, row
+        assert result.delivered_fraction >= 0.99
+
+    def test_multistream_churn_is_reproducible(self):
+        a = run_scale_flood(256, 5, seed=21, kernel="slotted",
+                            churn_percent=6.0, streams=3)
+        b = run_scale_flood(256, 5, seed=21, kernel="slotted",
+                            churn_percent=6.0, streams=3)
+        assert a.per_stream == b.per_stream
+        assert a.kills == b.kills > 0
+        assert a.events == b.events
+
+
 class TestCrashPurgesCsrLinks:
     """Network.crash on overlays wired through register_links_csr
     (regression coverage for the PR-4 audit — both directions must go)."""
@@ -138,12 +169,12 @@ class TestSlotRecycling:
         source.inject(0, 0, 128)
         sim.run_until_idle()
         slot = victim.slot
-        assert kernel.delivered[slot] == 1
+        assert kernel.plane(0).delivered[slot] == 1
         net.crash(victim.node_id)
         assert victim.node_id not in kernel.slot_of
-        assert kernel.delivered[slot] == 0
-        assert kernel.duplicates[slot] == 0
-        assert kernel.payload_bytes[slot] == 0
+        assert kernel.slot_delivered(slot) == 0
+        assert kernel.slot_duplicates(slot) == 0
+        assert kernel.slot_payload_bytes(slot) == 0
         assert kernel.rx_bytes[slot] == 0
         assert kernel.fanout_rows[slot] == []
         # The next joiner takes over the freed slot with a clean seen map.
@@ -161,11 +192,40 @@ class TestSlotRecycling:
         joiner = net.spawn(lambda n, i: SlottedFloodNode(n, i, hpv, kernel=kernel))
         assert kernel.capacity == 17
         assert joiner.slot == 16
-        # Existing seen maps grew to cover the new slot.
-        for rows in kernel._seen.values():
-            for row in rows:
+        # Existing planes (seen maps + counters) grew to cover the slot.
+        for plane in kernel.planes:
+            assert len(plane.delivered) == 17
+            for row in plane.rows:
                 assert len(row) == 17
         assert joiner.delivered_count(0) == 0
+
+    def test_crashed_slot_is_recycled_zeroed_in_every_plane(self):
+        """Multi-stream slot-plane recycling (DESIGN.md §10): a crash
+        must zero the slot's cells in *every* stream plane before a
+        churn joiner can inherit it."""
+        sim, net, nodes = build_static_flood_overlay(32, seed=4, kernel="slotted")
+        kernel = nodes[0].kernel
+        victim = nodes[9]
+        for stream, source in enumerate(nodes[:3]):
+            source.inject(stream, 0, 128)
+        sim.run_until_idle()
+        slot = victim.slot
+        assert len(kernel.planes) == 3
+        for stream in range(3):
+            assert kernel.plane(stream).delivered[slot] == 1
+        assert victim.delivered_count(1) == 1
+        net.crash(victim.node_id)
+        for plane in kernel.planes:
+            assert plane.delivered[slot] == 0
+            assert plane.duplicates[slot] == 0
+            assert plane.payload_bytes[slot] == 0
+            for row in plane.rows:
+                assert row[slot] == 0
+        hpv = nodes[0].hpv_config
+        joiner = net.spawn(lambda n, i: SlottedFloodNode(n, i, hpv, kernel=kernel))
+        assert joiner.slot == slot
+        for stream in range(3):
+            assert joiner.delivered_count(stream) == 0
 
 
 class TestAcceptAfterNoticeLeak:

@@ -89,6 +89,47 @@ def test_scale_command_churn(capsys, tmp_path):
     assert data["scale_run"]["survivors"] < 255
 
 
+def test_scale_command_multistream_flood(capsys, tmp_path):
+    out = tmp_path / "bench.json"
+    assert main([
+        "scale", "--nodes", "96", "--messages", "4", "--streams", "3",
+        "--kernel", "slotted", "--no-microbench", "--json", str(out),
+    ]) == 0
+    printed = capsys.readouterr().out
+    assert "3 stream(s)" in printed and "per-stream delivery" in printed
+    import json
+
+    data = json.loads(out.read_text())
+    assert data["scale_run"]["streams"] == 3
+    assert len(data["scale_run"]["per_stream"]) == 3
+    for row in data["scale_run"]["per_stream"]:
+        assert row["delivered_fraction"] == 1.0
+
+
+def test_scale_command_multistream_brisa(capsys, tmp_path):
+    out = tmp_path / "bench.json"
+    assert main([
+        "scale", "--stack", "brisa", "--nodes", "96", "--messages", "4",
+        "--streams", "3", "--no-microbench", "--json", str(out),
+    ]) == 0
+    printed = capsys.readouterr().out
+    assert "per-stream delivery + structure" in printed
+    assert "relay-load spread" in printed
+    import json
+
+    data = json.loads(out.read_text())
+    assert data["scale_run"]["streams"] == 3
+    assert data["scale_run"]["structure_complete"] is True
+    assert data["scale_run"]["relay_spread"]["streams"] == 3
+
+
+def test_scale_command_rejects_bad_streams(capsys):
+    assert main(["scale", "--nodes", "32", "--streams", "0", "--no-microbench"]) == 2
+    assert "streams" in capsys.readouterr().err
+    assert main(["scale", "--nodes", "8", "--streams", "9", "--no-microbench"]) == 2
+    assert "spread" in capsys.readouterr().err
+
+
 def test_scale_flood_flags_rejected_on_brisa_stack(capsys):
     for flag, value in (("--kernel", "slotted"), ("--churn", "5")):
         assert main([

@@ -91,6 +91,38 @@ def test_optional_entries_are_skipped_when_absent(tmp_path, capsys):
     assert "xxl.delivered_fraction absent" in capsys.readouterr().out
 
 
+def test_new_candidate_only_metrics_are_informational(tmp_path, capsys):
+    """A PR that *adds* bench entries (e.g. the multistream ones) must
+    not fail against an older committed baseline that lacks them: the
+    new values print as informational instead."""
+    base, cand = tmp_path / "base", tmp_path / "cand"
+    base.mkdir(), cand.mkdir()
+    write(base / "BENCH_scale.json", scale_payload())
+    payload = scale_payload()
+    payload["multistream_microbench"] = {"efficiency": 0.93}
+    payload["multistream"] = {"delivered_fraction": 1.0, "deliveries": 399_960}
+    write(cand / "BENCH_scale.json", payload)
+    assert compare_bench.main(["--candidate", str(cand), "--baseline", str(base)]) == 0
+    out = capsys.readouterr().out
+    assert "info" in out and "multistream_microbench.efficiency" in out
+    assert "candidate=0.93" in out
+    assert "informational" in out
+
+
+def test_new_metrics_gate_once_baselined(tmp_path):
+    """The informational grace applies only while the baseline lacks the
+    metric; once committed, regressions fail as usual."""
+    base, cand = tmp_path / "base", tmp_path / "cand"
+    base.mkdir(), cand.mkdir()
+    payload = scale_payload()
+    payload["multistream"] = {"delivered_fraction": 1.0, "deliveries": 399_960}
+    write(base / "BENCH_scale.json", payload)
+    broken = scale_payload()
+    broken["multistream"] = {"delivered_fraction": 0.5, "deliveries": 199_980}
+    write(cand / "BENCH_scale.json", broken)
+    assert compare_bench.main(["--candidate", str(cand), "--baseline", str(base)]) == 1
+
+
 def test_missing_files_are_skipped(tmp_path, capsys):
     base, cand = tmp_path / "base", tmp_path / "cand"
     base.mkdir(), cand.mkdir()

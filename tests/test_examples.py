@@ -1,0 +1,45 @@
+"""Examples smoke: every ``examples/*.py`` must run end to end.
+
+Each example honours the ``REPRO_EXAMPLE_TINY`` env hook (a reduced
+population/stream so the whole sweep stays test-suite cheap); this smoke
+runs them all as real subprocesses so ``multi_source.py`` and friends
+cannot rot silently when the library underneath them moves.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+EXAMPLES = sorted((ROOT / "examples").glob("*.py"))
+
+
+def test_examples_directory_found():
+    assert EXAMPLES, "no examples found — did the directory move?"
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs_tiny(path):
+    env = dict(os.environ)
+    env["REPRO_EXAMPLE_TINY"] = "1"
+    env["PYTHONPATH"] = str(ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=300,
+        cwd=ROOT,
+    )
+    assert proc.returncode == 0, (
+        f"{path.name} failed\n--- stdout ---\n{proc.stdout}\n"
+        f"--- stderr ---\n{proc.stderr}"
+    )
+    assert proc.stdout.strip(), f"{path.name} printed nothing"

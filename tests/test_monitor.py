@@ -120,3 +120,64 @@ def test_counters():
     m.incr("x")
     m.incr("x", 4)
     assert m.counters["x"] == 5
+
+
+# ----------------------------------------------------------------------
+# Per-stream shards + delivered_fraction (DESIGN.md §10)
+# ----------------------------------------------------------------------
+def test_streams_sharded_per_stream():
+    m = Metrics()
+    m.record_injection(0, 0, 1.0)
+    m.record_delivery(1, 0, 0, 1.5, 9, 1, 0.0, payload_bytes=100)
+    m.record_delivery(1, 0, 0, 1.6, 8, 2, 0.0, payload_bytes=100)  # dup
+    m.record_delivery(1, 7, 0, 2.0, 9, 1, 0.0, payload_bytes=30)
+    assert set(m.streams) == {0, 7}
+    assert m.streams[0].first_deliveries == 1
+    assert m.streams[0].duplicate_receptions == 1
+    assert m.streams[0].payload_bytes == 100  # dup did not accrue
+    assert m.streams[7].first_deliveries == 1
+    assert m.streams[7].payload_bytes == 30
+    # Cross-stream compatibility views still answer the old surface.
+    assert m.deliveries[(0, 0)][1].sender == 9
+    assert m.duplicates[1] == 1  # aggregated across streams
+    assert m.injections[(0, 0)] == 1.0
+    assert (7, 0) in m.deliveries and (3, 0) not in m.deliveries
+    assert m.duplicates_per_node([1, 2]) == [1, 0]
+
+
+def test_delivered_fraction_half_open_window():
+    m = Metrics()
+    # Stream 0: receivers {1, 2}; seqs 0 and 1 delivered to both, seq 2
+    # delivered to node 1 only.
+    for seq, nodes in ((0, (1, 2)), (1, (1, 2)), (2, (1,))):
+        for node in nodes:
+            m.record_delivery(node, 0, seq, 1.0, 0, 1, 0.0)
+    # Half-open [0, 2): seq 2 excluded — both receivers fully served.
+    assert m.delivered_fraction(0, [1, 2], window=(0, 2)) == 1.0
+    # Half-open [0, 3): seq 2 missing at node 2 — 5 of 6 pairs.
+    assert m.delivered_fraction(0, [1, 2], window=(0, 3)) == pytest.approx(5 / 6)
+    # [2, 3): exactly the boundary seq — the windows partition cleanly.
+    assert m.delivered_fraction(0, [1, 2], window=(2, 3)) == pytest.approx(1 / 2)
+    assert m.stream_delivery_count(0, [1, 2], window=(0, 2)) + m.stream_delivery_count(
+        0, [1, 2], window=(2, 3)
+    ) == m.stream_delivery_count(0, [1, 2], window=(0, 3))
+
+
+def test_delivered_fraction_default_window_spans_injections():
+    m = Metrics()
+    m.record_injection(0, 0, 1.0)
+    m.record_injection(0, 1, 2.0)
+    m.record_delivery(1, 0, 0, 1.5, 9, 1, 0.0)
+    # Default window = [0, 2): node 1 got 1 of 2.
+    assert m.delivered_fraction(0, [1]) == pytest.approx(1 / 2)
+    # Deliveries beyond the injected window don't inflate the default.
+    m.record_delivery(1, 0, 1, 2.5, 9, 1, 0.0)
+    assert m.delivered_fraction(0, [1]) == 1.0
+
+
+def test_delivered_fraction_degenerate_cases():
+    m = Metrics()
+    assert m.delivered_fraction(0, []) == 1.0  # empty audience: vacuous
+    assert m.delivered_fraction(0, [1]) == 0.0  # nothing injected
+    assert m.delivered_fraction(0, [1], window=(3, 3)) == 1.0  # empty window
+    assert m.stream_delivery_count(5, [1], window=(0, 4)) == 0  # unknown stream

@@ -31,8 +31,15 @@ LATENCIES = {
 }
 
 
-def flood_run(kernel: str, n: int, messages: int, seed: int, latency_kind: str):
-    """One recorded flood run; returns (sim, net, nodes)."""
+def flood_run(kernel: str, n: int, messages: int, seed: int, latency_kind: str,
+              streams: int = 1):
+    """One recorded flood run; returns (sim, net, nodes).
+
+    ``streams`` > 1 drives K concurrent publishers spread over the
+    population (the DESIGN.md §10 workload) through the same injection
+    window."""
+    from repro.experiments.scale_runner import spread_sources
+
     sim, net, nodes = build_static_flood_overlay(
         n,
         degree=5,
@@ -41,10 +48,10 @@ def flood_run(kernel: str, n: int, messages: int, seed: int, latency_kind: str):
         record_deliveries=True,
         kernel=kernel,
     )
-    source = nodes[0]
     start = sim.now
-    for seq in range(messages):
-        sim.call_at(start + seq / 50.0, source.inject, 0, seq, 64)
+    for stream, source in enumerate(spread_sources(nodes, streams)):
+        for seq in range(messages):
+            sim.call_at(start + seq / 50.0, source.inject, stream, seq, 64)
     sim.run_until_idle()
     return sim, net, nodes
 
@@ -66,7 +73,20 @@ def snapshot(sim, net, nodes) -> dict:
         "bytes_sent": {nid: dict(per) for nid, per in m.bytes_sent.items()},
         "bytes_received": {nid: dict(per) for nid, per in m.bytes_received.items()},
         "msg_counts": {kind: dict(per) for kind, per in m.msg_counts.items()},
-        "delivered_counts": {node.node_id: node.delivered_count(0) for node in nodes},
+        "delivered_counts": {
+            node.node_id: {
+                stream: node.delivered_count(stream) for stream in m.streams
+            }
+            for node in nodes
+        },
+        "stream_shards": {
+            stream: (
+                shard.first_deliveries,
+                shard.duplicate_receptions,
+                shard.payload_bytes,
+            )
+            for stream, shard in m.streams.items()
+        },
         "dropped": m.counters.get("dropped", 0),
     }
 
@@ -79,7 +99,7 @@ def assert_kernel_arrays_match_metrics(net, nodes, latency_kind: str) -> None:
         if not node.alive:
             continue
         slot = node.slot
-        assert kernel.duplicates[slot] == m.duplicates.get(node.node_id, 0)
+        assert kernel.slot_duplicates(slot) == m.duplicates.get(node.node_id, 0)
         if latency_kind == "zero-cost":
             # The fan sink owns receive accounting on this path; in
             # mirror mode it feeds Metrics too, so both must agree.
@@ -110,6 +130,42 @@ def test_slotted_kernel_matches_object_kernel(n, messages, seed, latency_kind):
     assert_kernel_arrays_match_metrics(net_s, nodes_s, latency_kind)
 
 
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(
+    n=st.integers(min_value=16, max_value=256),
+    messages=st.integers(min_value=1, max_value=3),
+    streams=st.integers(min_value=2, max_value=4),
+    seed=st.integers(min_value=0, max_value=2**20),
+    latency_kind=st.sampled_from(sorted(LATENCIES)),
+)
+@example(n=64, messages=2, streams=4, seed=0, latency_kind="zero-cost")
+@example(n=256, messages=3, streams=3, seed=7, latency_kind="occupancy")
+def test_multistream_parity(n, messages, streams, seed, latency_kind):
+    """K concurrent streams must stay draw-for-draw equivalent across
+    kernels (DESIGN.md §10): per-stream slot planes vs per-node dicts,
+    including the per-stream Metrics shards."""
+    sim_o, net_o, nodes_o = flood_run(
+        "object", n, messages, seed, latency_kind, streams=streams
+    )
+    sim_s, net_s, nodes_s = flood_run(
+        "slotted", n, messages, seed, latency_kind, streams=streams
+    )
+    assert len(net_o.metrics.streams) == streams
+    assert snapshot(sim_o, net_o, nodes_o) == snapshot(sim_s, net_s, nodes_s)
+    assert_kernel_arrays_match_metrics(net_s, nodes_s, latency_kind)
+    # The slotted planes' per-stream counters agree with the object
+    # path's sharded Metrics, stream by stream.
+    kernel = nodes_s[0].kernel
+    assert set(kernel.plane_of) == set(net_s.metrics.streams)
+    for stream, shard in net_o.metrics.streams.items():
+        plane = kernel.plane(stream)
+        assert sum(plane.duplicates) == shard.duplicate_receptions
+
+
 @settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
 @given(
     n=st.integers(min_value=64, max_value=256),
@@ -132,6 +188,24 @@ def test_kernels_agree_under_churn(n, churn, seed):
         "kills", "joins", "survivors", "peak_pending",
     ):
         assert a[field] == b[field], field
+
+
+def test_kernels_agree_under_multistream_churn():
+    """Concurrent streams + churn: slot-plane recycling across every
+    plane must keep the two kernels on the same simulation, stream by
+    stream."""
+    results = [
+        run_scale_flood(192, 6, seed=9, kernel=kernel, churn_percent=6.0, streams=3)
+        for kernel in ("object", "slotted")
+    ]
+    a, b = (r.to_dict() for r in results)
+    for field in (
+        "deliveries", "receptions", "events", "sim_time", "delivered_fraction",
+        "kills", "joins", "survivors", "peak_pending", "per_stream",
+    ):
+        assert a[field] == b[field], field
+    assert a["streams"] == 3 and len(a["per_stream"]) == 3
+    assert results[0].kills > 0
 
 
 def test_slotted_source_echo_matches_object_semantics():
