@@ -60,9 +60,12 @@ GATED_METRICS: dict[str, list[tuple[str, str, float | None]]] = {
         ("scale_run.events", "lower", None),
         ("scale_run.structure_complete", "higher", None),
         ("bootstrap.speedup", "higher", RATIO_TOLERANCE),
+        ("brisa_slotted_microbench.speedup", "higher", RATIO_TOLERANCE),
         ("multistream.delivered_fraction", "higher", None),
         ("multistream.structure_complete", "higher", None),
         ("xxl.delivered_fraction", "higher", None),
+        ("xxl_slotted.delivered_fraction", "higher", None),
+        ("xxl_slotted.structure_complete", "higher", None),
     ],
 }
 
@@ -166,7 +169,11 @@ def main(argv: list[str] | None = None) -> int:
             if not path.exists():
                 continue
             data = json.loads(path.read_text())
-            pruned = [key for key in ("xxl", "xxl_churn") if data.pop(key, None) is not None]
+            pruned = [
+                key
+                for key in ("xxl", "xxl_churn", "xxl_slotted")
+                if data.pop(key, None) is not None
+            ]
             if pruned:
                 path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
                 print(f"{name}: pruned stale {', '.join(pruned)} entr{'y' if len(pruned) == 1 else 'ies'}")

@@ -162,8 +162,9 @@ def make_parser() -> argparse.ArgumentParser:
                         help="brisa stack only: synthesized (default) | simulated | "
                              "path to an overlay checkpoint")
     sc_cmd.add_argument("--kernel", choices=["object", "slotted"], default=None,
-                        help="flood stack only: delivery kernel (default object; "
-                             "slotted = flat-array state, DESIGN.md §9)")
+                        help="delivery kernel, both stacks (default object; "
+                             "slotted = flat-array state, DESIGN.md §9 for "
+                             "flood, §11 for brisa)")
     sc_cmd.add_argument("--churn", type=float, default=None, metavar="PCT",
                         help="flood stack only: kill PCT%% of the population at "
                              "random instants during the stream (sources protected) "
@@ -195,14 +196,16 @@ def _run_scale(args) -> int:
                 )
                 return 2
     else:
-        # Symmetrically, the flood-only knobs must not be silently ignored.
-        for flag, value in (("--kernel", args.kernel), ("--churn", args.churn)):
-            if value is not None:
-                print(
-                    f"error: {flag} applies to the flood stack only",
-                    file=sys.stderr,
-                )
-                return 2
+        # Symmetrically, the remaining flood-only knob must not be
+        # silently ignored (--kernel works on both stacks since the
+        # slotted BRISA kernel landed, DESIGN.md §11).
+        if args.churn is not None:
+            print(
+                "error: --churn applies to the flood stack only "
+                "(BRISA churn runs through the repair scenarios)",
+                file=sys.stderr,
+            )
+            return 2
     try:
         scale = sc.get_scale(args.scale)
         nodes = args.nodes if args.nodes is not None else scale.cluster_nodes
@@ -215,6 +218,7 @@ def _run_scale(args) -> int:
                 bootstrap=args.bootstrap if args.bootstrap is not None else "synthesized",
                 join_spacing=scale.join_spacing, settle=scale.settle,
                 streams=args.streams,
+                kernel=args.kernel if args.kernel is not None else "object",
             )
         else:
             result = sc.run_scale_flood(

@@ -1,0 +1,85 @@
+"""Packed Bloom ancestor-filter bit-matrix (§II-F, slotted kernel).
+
+The object kernel keeps each node's Bloom position as an arbitrary-width
+Python int mask.  At scale that is one boxed bigint per node per stream;
+the slotted kernel instead packs all filters of one stream plane into a
+single row-major ``bytearray`` — rows are node slots, columns are the
+``bits`` filter bits — so growth-push updates (§II-G: BloomUpdate folds
+parent filters into children) become row ORs over flat bytes, and a
+crash releases a node by zeroing one row slice.
+
+The matrix mirrors ``StreamState.position`` for the bloom predictor
+(synced through the ``_set_position`` choke point, see DESIGN.md §11);
+``as_int`` converts a row back to the object kernel's mask
+representation, which is what the parity tests compare.
+"""
+
+from __future__ import annotations
+
+
+class BloomBitMatrix:
+    """``capacity`` × ``bits`` bit-matrix over one packed bytearray."""
+
+    __slots__ = ("bits", "row_bytes", "capacity", "data")
+
+    def __init__(self, bits: int, capacity: int = 0) -> None:
+        if bits <= 0:
+            raise ValueError("bits must be positive")
+        self.bits = bits
+        self.row_bytes = (bits + 7) // 8
+        self.capacity = 0
+        self.data = bytearray()
+        if capacity:
+            self.grow(capacity)
+
+    # ------------------------------------------------------------------
+    def grow(self, capacity: int) -> None:
+        """Extend to ``capacity`` rows (new rows zeroed); never shrinks."""
+        if capacity > self.capacity:
+            self.data.extend(bytes((capacity - self.capacity) * self.row_bytes))
+            self.capacity = capacity
+
+    def clear_row(self, slot: int) -> None:
+        """Zero one row (slot release on crash; hard-repair position reset)."""
+        start = slot * self.row_bytes
+        self.data[start:start + self.row_bytes] = bytes(self.row_bytes)
+
+    # ------------------------------------------------------------------
+    def set_row(self, slot: int, mask: int) -> None:
+        """Overwrite a row from an int mask (adoption after a reset)."""
+        start = slot * self.row_bytes
+        self.data[start:start + self.row_bytes] = mask.to_bytes(
+            self.row_bytes, "little"
+        )
+
+    def or_row(self, slot: int, mask: int) -> bool:
+        """OR an int mask into a row (growth-push update); True if grew.
+
+        Filter growth is monotone between hard-repair resets (§II-G), so
+        every position change of a live filter is expressible as one row
+        OR — the operation BloomUpdate cascades are made of.
+        """
+        start = slot * self.row_bytes
+        current = int.from_bytes(self.data[start:start + self.row_bytes], "little")
+        merged = current | mask
+        if merged == current:
+            return False
+        self.data[start:start + self.row_bytes] = merged.to_bytes(
+            self.row_bytes, "little"
+        )
+        return True
+
+    def as_int(self, slot: int) -> int:
+        """Row as the object kernel's int-mask representation."""
+        start = slot * self.row_bytes
+        return int.from_bytes(self.data[start:start + self.row_bytes], "little")
+
+    # ------------------------------------------------------------------
+    def insert(self, slot: int, node_mask: int) -> None:
+        """Add one node's hash bits to a row's ancestor set."""
+        self.or_row(slot, node_mask)
+
+    def contains(self, slot: int, node_mask: int) -> bool:
+        """Are all of ``node_mask``'s bits present in the row's filter?
+        (Bloom membership — false positives possible, §II-D.)"""
+        return (self.as_int(slot) & node_mask) == node_mask

@@ -28,12 +28,8 @@ from typing import Any, Optional
 
 from repro.config import BrisaConfig, HyParViewConfig
 from repro.core import messages as bm
-from repro.core.cycle import (
-    PARENT_CYCLE,
-    PARENT_DEMOTE,
-    extract_meta,
-    make_predictor,
-)
+from repro.core import rules
+from repro.core.cycle import extract_meta, make_predictor
 from repro.core.recovery import MessageBuffer
 from repro.core.state import StreamState
 from repro.core.strategies import Candidate, make_strategy
@@ -80,6 +76,16 @@ class BrisaNode(HyParViewNode):
     def parents_of(self, stream: StreamId = 0) -> list[NodeId]:
         return list(self.stream_state(stream).parents)
 
+    def tree_parents(self, stream: StreamId) -> list[NodeId]:
+        """Parent edges for one stream, without materializing state.
+
+        The representation-independent read used by structure extraction
+        (:mod:`repro.core.structure`): the slotted kernel overrides it to
+        answer from its tree-edge rows instead of the parents dict.
+        """
+        state = self.streams.get(stream)
+        return list(state.parents) if state is not None else []
+
     def children_of(self, stream: StreamId = 0) -> list[NodeId]:
         """Neighbours we still relay this stream to (≈ children once the
         structure has stabilized)."""
@@ -99,8 +105,52 @@ class BrisaNode(HyParViewNode):
     def become_source(self, stream: StreamId = 0) -> None:
         state = self.stream_state(stream)
         state.is_source = True
-        state.position = self.predictor.source_position(self.node_id)
-        state.hops = 0
+        self._set_position(state, self.predictor.source_position(self.node_id))
+        self._set_hops(state, 0)
+
+    # ------------------------------------------------------------------
+    # State-mutation choke points
+    # ------------------------------------------------------------------
+    # Every mutation of the structure-bearing stream state (position,
+    # level, parent edges, link activation) funnels through one of these
+    # hooks.  The reference kernel applies them directly; the slotted
+    # kernel (core/brisa_slotted.py) overrides them to keep its flat
+    # per-slot arrays — levels, tree-edge rows, relay rows, the Bloom
+    # bit-matrix — in sync and to invalidate its fast-path maintenance
+    # cache (DESIGN.md §11).
+
+    def _set_position(self, state: StreamState, value: Any) -> None:
+        state.position = value
+
+    def _reset_position(self, state: StreamState) -> None:
+        state.reset_position()
+
+    def _set_hops(self, state: StreamState, value: Optional[int]) -> None:
+        state.hops = value
+
+    def _set_in_active(self, state: StreamState, peer: NodeId, value: bool) -> None:
+        state.in_active[peer] = value
+
+    def _forget_in_active(self, state: StreamState, peer: NodeId) -> None:
+        state.in_active.pop(peer, None)
+
+    def _add_parent_edge(
+        self, state: StreamState, peer: NodeId, cand: Candidate, meta: Any
+    ) -> None:
+        state.parents[peer] = cand
+        state.parent_meta[peer] = meta
+
+    def _drop_parent_edge(self, state: StreamState, peer: NodeId) -> bool:
+        return state.drop_parent(peer)
+
+    def _bump_demote(self, state: StreamState, peer: NodeId, count: int) -> None:
+        state.demote_counts[peer] = count
+
+    def _mute_out(self, state: StreamState, peer: NodeId) -> None:
+        state.out_deactivated.add(peer)
+
+    def _unmute_out(self, state: StreamState, peer: NodeId) -> None:
+        state.out_deactivated.discard(peer)
 
     def inject(self, stream: StreamId, seq: int, payload_bytes: int) -> None:
         """Publish one stream message (the experiment harness drives this)."""
@@ -146,10 +196,20 @@ class BrisaNode(HyParViewNode):
         hops: int,
         path_delay: float,
     ) -> None:
-        for peer in self.active:
-            if peer == exclude or peer in state.out_deactivated:
-                continue
-            self.send(peer, self._data_message(state, seq, payload_bytes, hops, path_delay))
+        peers = [
+            peer
+            for peer in self.active
+            if peer != exclude and peer not in state.out_deactivated
+        ]
+        if peers:
+            # One shared Data instance for the whole fan-out: it is
+            # read-only at receivers, so batching through send_many fuses
+            # the delivery event and computes size_bytes once instead of
+            # per peer (the per-peer construction defeated the Message
+            # size memoization entirely).
+            self.send_many(
+                peers, self._data_message(state, seq, payload_bytes, hops, path_delay)
+            )
 
     def on_brisa_data(self, src: NodeId, msg: bm.Data) -> None:
         state = self.stream_state(msg.stream)
@@ -187,11 +247,10 @@ class BrisaNode(HyParViewNode):
             if is_neighbor:
                 self._consider_provider(state, src, meta, first=True)
             if src in state.parents:
-                state.hops = hops  # distance bookkeeping for retransmissions
-                if (
-                    msg.seq > state.max_contig + 1
-                    and not msg.recovered
-                    and self.sim.now - state.last_gap_request > self.GAP_REQUEST_COOLDOWN
+                self._set_hops(state, hops)  # distance bookkeeping for retransmissions
+                if rules.wants_gap_recovery(
+                    msg.seq, state.max_contig, msg.recovered,
+                    self.sim.now, state.last_gap_request, self.GAP_REQUEST_COOLDOWN,
                 ):
                     # Sequence gap below this delivery: messages were lost
                     # in a swap/activation race — recover them from the
@@ -220,61 +279,51 @@ class BrisaNode(HyParViewNode):
     # Parent selection (Fig. 3) and cycle handling
     # ------------------------------------------------------------------
     def _consider_provider(self, state: StreamState, src: NodeId, meta: Any, first: bool) -> None:
-        """Apply the link-deactivation decision to a message from ``src``."""
-        if src in state.parents:
+        """Apply the link-deactivation decision to a message from ``src``.
+
+        The decision itself lives in :mod:`repro.core.rules` (the pure
+        rule table shared with the slotted kernel); this method threads
+        the verdicts through the object kernel's side effects.
+        """
+        action = rules.provider_action(
+            self.predictor, self.node_id, state.position,
+            state.parents, self.config.num_parents, src, meta,
+        )
+        if action is rules.MAINTAIN:
             state.parent_meta[src] = meta
             self._maintain_parent(state, src, meta)
-            return
-
-        eligible = self.predictor.eligible(self.node_id, state.position, meta)
-        if not eligible:
+        elif action is rules.PRUNE:
             # Cycle risk (or unlabeled provider): this link can never feed
-            # us as a parent.  Prune it as soon as we have at least one
-            # parent — otherwise it keeps delivering duplicates forever.
-            # With zero parents the link stays active as fallback flow
-            # until a repair completes.
-            if state.parents:
-                self._deactivate_link(state, src)
-            return
-
-        if len(state.parents) < self.config.num_parents:
-            self._adopt_parent(state, src, meta)
-            return
-
-        # Parents full: strategy decides between newcomer and worst parent.
-        newcomer = self._candidate(src, arrival=self._arrival_of(state, src), state=state)
-        worst_peer = self.strategy.worst(list(state.parents.values())).peer
-        incumbent = state.parents[worst_peer]
-        if self.strategy.prefers(newcomer, incumbent):
-            self._remove_parent(state, worst_peer, deactivate=True)
-            self._adopt_parent(state, src, meta)
-        else:
-            if first:
-                # A *first* reception from a non-parent is data the
-                # current parents did not deliver — the provider is ahead
-                # of them (e.g. they sit above a severed subtree after a
-                # crash, §II-F).  Link deactivation is a duplicate-
-                # triggered decision (Fig. 3): keep the live feed; the
-                # moment a parent actually resumes service this provider
-                # becomes a duplicate source and is pruned normally.
-                return
+            # us as a parent — prune it before it delivers duplicates
+            # forever.  (IGNORE, the zero-parent case, keeps the link as
+            # fallback flow until a repair completes.)
             self._deactivate_link(state, src)
-            if (
-                self.config.symmetric_deactivation
-                and self.strategy.supports_symmetric
-                and self.config.num_parents == 1
-                and src not in state.reactivated
-            ):
-                # Symmetric optimization (§II-E, trees only): src
-                # demonstrably received this message first, so we can never
-                # become its first-come parent; stop relaying to it without
-                # spending a message.  Unsound for DAGs: src may have
-                # adopted us as a *secondary* parent even though its first
-                # reception came from elsewhere.  Also unsound once src
-                # explicitly Activated our link (repair adoption, §II-F):
-                # adoption by necessity is not first-come order, and the
-                # silent mute would sever src's subtree for good.
-                state.out_deactivated.add(src)
+        elif action is rules.ADOPT:
+            self._adopt_parent(state, src, meta)
+        elif action is rules.CONTEND:
+            # Parents full: strategy decides between newcomer and worst.
+            newcomer = self._candidate(
+                src, arrival=self._arrival_of(state, src), state=state
+            )
+            verdict, worst_peer = rules.contention_action(
+                self.strategy, newcomer, list(state.parents.values()), first
+            )
+            if verdict is rules.SWAP:
+                self._remove_parent(state, worst_peer, deactivate=True)
+                self._adopt_parent(state, src, meta)
+            elif verdict is rules.REJECT:
+                # KEEP_FEED (first reception from a non-parent) keeps the
+                # live feed: deactivation is duplicate-triggered (Fig. 3).
+                self._deactivate_link(state, src)
+                if rules.symmetric_mute(
+                    self.config, self.strategy, src in state.reactivated
+                ):
+                    # Symmetric optimization (§II-E, trees only): src
+                    # demonstrably received this message first, so we can
+                    # never become its first-come parent; stop relaying to
+                    # it without spending a message.  Unsound for DAGs and
+                    # for explicitly re-Activated links (see rules).
+                    self._mute_out(state, src)
 
     def _arrival_of(self, state: StreamState, peer: NodeId) -> float:
         cand = state.candidates.get(peer)
@@ -310,20 +359,24 @@ class BrisaNode(HyParViewNode):
 
     def _adopt_parent(self, state: StreamState, peer: NodeId, meta: Any) -> None:
         cand = self._candidate(peer, arrival=self._arrival_of(state, peer), state=state)
-        state.parents[peer] = cand
-        state.parent_meta[peer] = meta
+        self._add_parent_edge(state, peer, cand, meta)
         if not state.in_active.get(peer, True):
             # We deactivated this peer in an earlier decision (dynamic
             # strategies swap back and forth while duplicates flow): the
             # peer still holds us in its out_deactivated set and would
             # never relay again — re-activate the link explicitly.
             self.send(peer, bm.Activate(state.stream, adopt=False))
-        state.in_active[peer] = True
+        self._set_in_active(state, peer, True)
         state.demote_counts.pop(peer, None)
         old_position = state.position
         new_position = self.predictor.adopt(self.node_id, meta)
-        state.position = self._merge_position(state.position, new_position)
-        state.hops = self._hops_from_position(state, meta)
+        self._set_position(
+            state, rules.merge_position(self.predictor.name, state.position, new_position)
+        )
+        self._set_hops(
+            state,
+            rules.hops_from_position(self.predictor.name, state.position, state.hops),
+        )
         if (
             self.predictor.name == "depth"
             and old_position is not None
@@ -340,27 +393,8 @@ class BrisaNode(HyParViewNode):
         if state.repairing:
             self._finish_repair(state)
 
-    def _merge_position(self, old: Any, new: Any) -> Any:
-        """Combine constraints of multiple parents (DAG depth = max)."""
-        if old is None:
-            return new
-        if self.predictor.name == "depth":
-            return max(old, new)
-        if self.predictor.name == "bloom":
-            return old | new
-        return new
-
-    def _hops_from_position(self, state: StreamState, meta: Any) -> int:
-        if self.predictor.name == "path":
-            return len(state.position) - 1
-        if self.predictor.name == "depth":
-            return int(state.position)
-        # Bloom filters carry no distance; keep the last reception's count
-        # (refreshed by on_brisa_data whenever the parent delivers).
-        return state.hops if state.hops is not None else 1
-
     def _remove_parent(self, state: StreamState, peer: NodeId, deactivate: bool) -> None:
-        state.drop_parent(peer)
+        self._drop_parent_edge(state, peer)
         if deactivate:
             self._deactivate_link(state, peer)
 
@@ -372,42 +406,50 @@ class BrisaNode(HyParViewNode):
     GAP_REQUEST_COOLDOWN = 0.5
 
     def _maintain_parent(self, state: StreamState, src: NodeId, meta: Any) -> None:
-        """Steady-state revalidation of an existing parent (§II-D, §II-G)."""
-        if meta is None:
-            # The parent is mid-hard-repair (position forgotten) and
-            # re-flooding; its ReactivateOrder will arrive separately.
+        """Steady-state revalidation of an existing parent (§II-D, §II-G).
+
+        Verdicts come from the shared rule table; PARENT_SKIP means the
+        parent is mid-hard-repair (position forgotten) and re-flooding —
+        its ReactivateOrder will arrive separately.
+        """
+        action, count = rules.maintenance_action(
+            self.predictor, self.node_id, state.position, meta,
+            state.demote_counts.get(src, 0),
+            src not in state.out_deactivated,
+            self.DEMOTE_LIMIT,
+        )
+        if action is rules.PARENT_SKIP:
             return
-        verdict = self.predictor.check_parent(self.node_id, state.position, meta)
-        if verdict == PARENT_CYCLE:
+        if action is rules.PARENT_DROP_CYCLE:
             # "A node that detects a cycle from a parent simply makes the
             # link from that parent inactive and selects a new parent."
             self.network.metrics.incr("cycles_detected")
             self._remove_parent(state, src, deactivate=True)
             if not state.parents:
                 self._begin_repair(state, record=False)
-        elif verdict == PARENT_DEMOTE:
-            count = state.demote_counts.get(src, 0) + 1
-            state.demote_counts[src] = count
-            # Mutual-adoption detection: a legitimate parent receives our
-            # relayed duplicates and deactivates our backflow; a parent
-            # that keeps demoting us *while still accepting our relays*
-            # (src not in out_deactivated) is consuming us as its own
-            # parent — a two-cycle chasing its own depth labels.  Drop it
-            # (§II-G safety: cycles must never survive), with an absolute
-            # backstop for longer races.
-            suspicious = count >= 2 and src not in state.out_deactivated
-            if suspicious or count > self.DEMOTE_LIMIT:
-                self.network.metrics.incr("cycles_detected")
-                self._remove_parent(state, src, deactivate=True)
-                state.demote_counts.pop(src, None)
-                if not state.parents:
-                    self._begin_repair(state, record=False)
-                return
+        elif action is rules.PARENT_DROP_DEMOTED:
+            # Mutual-adoption detection: a parent that keeps demoting us
+            # while still accepting our relays is consuming us as its own
+            # parent — a two-cycle chasing its own depth labels (§II-G
+            # safety: cycles must never survive).
+            self.network.metrics.incr("cycles_detected")
+            self._remove_parent(state, src, deactivate=True)
+            state.demote_counts.pop(src, None)
+            if not state.parents:
+                self._begin_repair(state, record=False)
+        elif action is rules.PARENT_DEMOTE_STEP:
+            self._bump_demote(state, src, count)
             self._demote(state, int(meta) + 1)
         elif self.predictor.name == "path":
-            # Track our own position from the freshest parent path.
-            state.position = self.predictor.adopt(self.node_id, meta)
-            state.hops = len(state.position) - 1
+            # Track our own position from the freshest parent path.  Only
+            # reassign on an actual change: a steady parent re-sends the
+            # same path every message, and keeping the tuple identity
+            # stable is what lets downstream slotted nodes recognize the
+            # no-op by identity and skip this check (DESIGN.md §11).
+            new_position = self.predictor.adopt(self.node_id, meta)
+            if new_position != state.position:
+                self._set_position(state, new_position)
+                self._set_hops(state, len(new_position) - 1)
         elif self.predictor.name == "bloom":
             # Refresh the ancestor filter from the freshest parent metas.
             # A filter frozen at adoption time can never circulate the
@@ -420,22 +462,20 @@ class BrisaNode(HyParViewNode):
             # cycles must never survive).  Growth is monotone and
             # bit-bounded, so the cascade reaches a fixpoint even after
             # the stream has drained.
-            combined = state.position
-            for parent_meta in state.parent_meta.values():
-                if parent_meta is None:
-                    continue
-                combined = parent_meta if combined is None else combined | parent_meta
+            combined = rules.fold_parent_filters(
+                state.position, state.parent_meta.values()
+            )
             if combined is not None:
                 new_position = self.predictor.adopt(self.node_id, combined)
                 if new_position != state.position:
-                    state.position = new_position
+                    self._set_position(state, new_position)
                     self._broadcast_bloom(state)
 
     def _demote(self, state: StreamState, new_depth: int) -> None:
         if state.position is not None and new_depth <= state.position:
             return
-        state.position = new_depth
-        state.hops = new_depth
+        self._set_position(state, new_depth)
+        self._set_hops(state, new_depth)
         self._broadcast_depth(state)
 
     def _broadcast_depth(self, state: StreamState) -> None:
@@ -443,10 +483,9 @@ class BrisaNode(HyParViewNode):
         including parents: in a pathological mutual-adoption pair the
         'parent' is also our child and *must* observe our depth change for
         the cycle breaker in _maintain_parent to trigger."""
-        update = bm.DepthUpdate(state.stream, state.position)
-        for peer in self.active:
-            if peer not in state.out_deactivated:
-                self.send(peer, update)
+        peers = [p for p in self.active if p not in state.out_deactivated]
+        if peers:
+            self.send_many(peers, bm.DepthUpdate(state.stream, state.position))
 
     def on_brisa_depth_update(self, src: NodeId, msg: bm.DepthUpdate) -> None:
         state = self.stream_state(msg.stream)
@@ -457,10 +496,12 @@ class BrisaNode(HyParViewNode):
     def _broadcast_bloom(self, state: StreamState) -> None:
         """Push the grown ancestor filter to every neighbour still linked
         to us (the Bloom counterpart of :meth:`_broadcast_depth`)."""
-        update = bm.BloomUpdate(state.stream, state.position, self.config.bloom_bits)
-        for peer in self.active:
-            if peer not in state.out_deactivated:
-                self.send(peer, update)
+        peers = [p for p in self.active if p not in state.out_deactivated]
+        if peers:
+            self.send_many(
+                peers,
+                bm.BloomUpdate(state.stream, state.position, self.config.bloom_bits),
+            )
 
     def on_brisa_bloom_update(self, src: NodeId, msg: bm.BloomUpdate) -> None:
         state = self.stream_state(msg.stream)
@@ -476,7 +517,7 @@ class BrisaNode(HyParViewNode):
         # reported them) are treated as active so the Deactivate is sent.
         if not state.in_active.get(peer, True):
             return
-        state.in_active[peer] = False
+        self._set_in_active(state, peer, False)
         self.send(peer, bm.Deactivate(state.stream))
         if state.first_deact_at is None:
             state.first_deact_at = self.sim.now
@@ -495,13 +536,13 @@ class BrisaNode(HyParViewNode):
 
     def on_brisa_deactivate(self, src: NodeId, msg: bm.Deactivate) -> None:
         state = self.stream_state(msg.stream)
-        state.out_deactivated.add(src)
+        self._mute_out(state, src)
         # An explicit Deactivate re-arms the symmetric inference for src.
         state.reactivated.discard(src)
 
     def on_brisa_activate(self, src: NodeId, msg: bm.Activate) -> None:
         state = self.stream_state(msg.stream)
-        state.out_deactivated.discard(src)
+        self._unmute_out(state, src)
         state.reactivated.add(src)
         if msg.adopt:
             if state.repairing and state.repair_pending == src and self.node_id > src:
@@ -526,20 +567,21 @@ class BrisaNode(HyParViewNode):
     def neighbor_up(self, peer: NodeId) -> None:
         for state in self.streams.values():
             # Links to new nodes start active (§II-F).
-            state.in_active.setdefault(peer, True)
-            state.out_deactivated.discard(peer)
+            if peer not in state.in_active:
+                self._set_in_active(state, peer, True)
+            self._unmute_out(state, peer)
 
     def neighbor_down(self, peer: NodeId, failure: bool) -> None:
         for state in self.streams.values():
-            state.in_active.pop(peer, None)
-            state.out_deactivated.discard(peer)
+            self._forget_in_active(state, peer)
+            self._unmute_out(state, peer)
             state.reactivated.discard(peer)
             state.candidates.pop(peer, None)
             if state.repair_pending == peer:
                 state.repair_pending = None
                 self._repair_next(state)
             if peer in state.parents:
-                state.drop_parent(peer)
+                self._drop_parent_edge(state, peer)
                 if state.engaged and not state.is_source:
                     self.network.metrics.record_parent_loss(self.sim.now, self.node_id)
                     if not state.parents:
@@ -682,19 +724,23 @@ class BrisaNode(HyParViewNode):
         state.repair_hard = True
         old_parents = set(state.parents)
         for peer in old_parents:
-            state.drop_parent(peer)
+            self._drop_parent_edge(state, peer)
         children = [
             p
             for p in self.active
             if p not in state.out_deactivated and p not in old_parents
         ]
-        state.reset_position()
-        for peer in self.active:
-            state.in_active[peer] = True
-            self.send(peer, bm.Activate(state.stream, adopt=False))
-        order = bm.ReactivateOrder(state.stream)
-        for child in children:
-            self.send(child, order)
+        self._reset_position(state)
+        peers = list(self.active)
+        for peer in peers:
+            self._set_in_active(state, peer, True)
+        if peers:
+            # One shared Activate for the whole re-activation wave (the
+            # per-peer instances previously built here re-computed the
+            # message size peer by peer).
+            self.send_many(peers, bm.Activate(state.stream, adopt=False))
+        if children:
+            self.send_many(children, bm.ReactivateOrder(state.stream))
         # As a fresh node every neighbour is an eligible provider; try an
         # immediate adoption so service resumes before the next flood wave.
         state.repair_queue = self.strategy.sort(
@@ -708,7 +754,7 @@ class BrisaNode(HyParViewNode):
     def on_brisa_reactivate_order(self, src: NodeId, msg: bm.ReactivateOrder) -> None:
         state = self.stream_state(msg.stream)
         # Our parent re-bootstrapped: it can no longer serve us.
-        had_parent = state.drop_parent(src)
+        had_parent = self._drop_parent_edge(state, src)
         if not state.engaged:
             return
         if state.parents:

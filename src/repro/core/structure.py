@@ -29,10 +29,16 @@ def extract_structure(nodes: Iterable, stream: StreamId = 0) -> nx.DiGraph:
         if not getattr(node, "alive", True):
             continue
         g.add_node(node.node_id)
-        state = node.streams.get(stream)
-        if state is None:
-            continue
-        for parent in state.parents:
+        tree_parents = getattr(node, "tree_parents", None)
+        if tree_parents is not None:
+            # Kernel-agnostic accessor (DESIGN.md §11): the object kernel
+            # reads StreamState.parents, the slotted kernel its tree-edge
+            # rows — structural reporting works against either.
+            parents = tree_parents(stream)
+        else:
+            state = node.streams.get(stream)
+            parents = state.parents if state is not None else ()
+        for parent in parents:
             g.add_edge(parent, node.node_id)
     return g
 

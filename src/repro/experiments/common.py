@@ -47,6 +47,10 @@ class Testbed:
             keepalive_period=keepalive_period,
         )
         self.nodes: list = []
+        #: CSRTopology of the last synthesized bootstrap (None otherwise);
+        #: array-backed kernels bulk-install their adjacency rows from it
+        #: instead of re-deriving per-node views (DESIGN.md §9/§11).
+        self.last_topology = None
         self._factory: Optional[NodeFactory] = None
         self._join_rng = self.sim.rng("testbed-joins")
 
@@ -163,7 +167,7 @@ class Testbed:
         else:
             spawned = network.spawn_many(factory, n)
         if checkpoint is None:
-            bootstrap_mod.synthesize_overlay(
+            self.last_topology = bootstrap_mod.synthesize_overlay(
                 spawned, network, rng=self.sim.rng("synth-overlay"), degree=degree
             )
         else:
@@ -330,10 +334,22 @@ class RunResult:
 def brisa_factory(
     config: Optional[BrisaConfig] = None,
     hpv_config: Optional[HyParViewConfig] = None,
+    *,
+    kernel=None,
 ) -> NodeFactory:
-    """Node factory for BRISA stacks."""
+    """Node factory for BRISA stacks.
+
+    ``kernel`` (a :class:`~repro.core.brisa_slotted.SlottedBrisaKernel`
+    bound to the testbed's network) switches the stack to the slotted
+    array kernel; nodes attach to its slot planes at spawn."""
     cfg = config if config is not None else BrisaConfig()
     hpv = hpv_config if hpv_config is not None else HyParViewConfig()
+    if kernel is not None:
+        from repro.core.brisa_slotted import SlottedBrisaNode
+
+        return lambda network, nid: SlottedBrisaNode(
+            network, nid, cfg, hpv, kernel=kernel
+        )
     return lambda network, nid: BrisaNode(network, nid, cfg, hpv)
 
 

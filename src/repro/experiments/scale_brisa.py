@@ -20,6 +20,7 @@ from dataclasses import asdict, dataclass, field
 from typing import Optional
 
 from repro.config import BrisaConfig, HyParViewConfig
+from repro.errors import SimulationError
 from repro.experiments.common import Testbed, brisa_factory
 from repro.experiments.scale_runner import (
     ScaleRunner,
@@ -42,6 +43,9 @@ class ScaleBrisaResult:
     seed: int
     mode: str
     bootstrap: str
+    #: Delivery kernel: ``object`` (per-node dict state) or ``slotted``
+    #: (flat-array slot planes, DESIGN.md §11).
+    kernel: str
     #: Wall-clock seconds spent building the overlay (the ramp replacement).
     bootstrap_wall: float
     #: Simulated seconds the dissemination spanned.
@@ -54,6 +58,10 @@ class ScaleBrisaResult:
     deliveries: int
     deliveries_per_sec: float
     delivered_fraction: float
+    #: Data receptions processed (first deliveries + duplicates) — the
+    #: unit of per-delivery handler work the slotted kernel cuts.
+    receptions: int
+    receptions_per_sec: float
     #: §II-B correctness: the emerged structure covers every node, acyclically.
     structure_complete: bool
     structure_reason: str
@@ -77,7 +85,8 @@ class ScaleBrisaResult:
     def summary(self) -> str:
         structure = "complete/acyclic" if self.structure_complete else self.structure_reason
         lines = [
-            f"nodes: {self.nodes} ({self.mode} mode, {self.bootstrap} bootstrap)",
+            f"nodes: {self.nodes} ({self.mode} mode, {self.bootstrap} bootstrap, "
+            f"{self.kernel} kernel)",
             f"messages: {self.streams} stream(s) x {self.messages} x {self.payload_bytes} B",
             f"delivered: {self.delivered_fraction * 100:.2f}%",
             f"structure: {structure}",
@@ -86,6 +95,7 @@ class ScaleBrisaResult:
             f"sim time: {self.sim_time:.2f} s   wall time: {self.wall_time:.2f} s",
             f"events: {self.events:,} ({self.events_per_sec:,.0f}/s)",
             f"deliveries: {self.deliveries:,} ({self.deliveries_per_sec:,.0f}/s)",
+            f"receptions: {self.receptions:,} ({self.receptions_per_sec:,.0f}/s)",
             f"peak heap: {self.peak_pending:,}   handle pool: {self.handle_pool_size:,}",
         ]
         if self.streams > 1:
@@ -119,6 +129,7 @@ def run_scale_brisa(
     join_spacing: float = 0.05,
     settle: float = 45.0,
     streams: int = 1,
+    kernel: str = "object",
 ) -> ScaleBrisaResult:
     """Run the full BRISA stack over a ``nodes``-population overlay.
 
@@ -132,8 +143,19 @@ def run_scale_brisa(
     §10): K publishers spread over the population emerge K independent
     trees over the one overlay, each checked for the §II-B invariant,
     with a relay-load-spread report on how interior duty distributes.
+
+    ``kernel`` selects the delivery + tree-maintenance representation:
+    ``object`` (the reference per-node dict state) or ``slotted`` (the
+    flat-array slot planes of :class:`SlottedBrisaKernel`, DESIGN.md
+    §11).  Both run draw-for-draw identical simulations — pinned by
+    tests/test_slotted_parity.py — so the choice is purely a throughput
+    lever.
     """
     validate_workload(messages, rate, streams, population=nodes)
+    if kernel not in ("object", "slotted"):
+        raise ValueError(
+            f"unknown BRISA kernel {kernel!r} (expected 'object' or 'slotted')"
+        )
     cfg = config if config is not None else BrisaConfig(mode=mode)
     if degree is not None and hpv_config is None:
         # Same idiom as build_static_flood_overlay: size the membership
@@ -145,21 +167,43 @@ def run_scale_brisa(
         latency=latency if latency is not None else ConstantLatency(0.001, seed=seed),
         record_deliveries=False,
     )
+    slot_kernel = None
+    if kernel == "slotted":
+        from repro.core.brisa_slotted import SlottedBrisaKernel
+
+        slot_kernel = SlottedBrisaKernel(bed.network, cfg)
     t0 = time.perf_counter()
-    bed.populate(
-        nodes,
-        brisa_factory(cfg, hpv_config),
-        bootstrap=bootstrap,
-        degree=degree,
-        join_spacing=join_spacing,
-        settle=settle,
-        validate=True,
-        # The overlay is static during dissemination, so shuffle timers
-        # are never armed — at xxl populations this is the difference
-        # between spawning 100k nodes and spawning 100k nodes plus 100k
-        # scheduled shuffle events (DESIGN.md §8).
-        defer_timers=bootstrap != "simulated",
-    )
+    # Synthesized bootstraps build the slotted relay rows straight from
+    # the CSR adjacency arrays — one bulk pass instead of one append per
+    # neighbour-up notification (contents identical either way, same
+    # idiom as build_static_flood_overlay).  Simulated/checkpoint
+    # bootstraps keep the incremental path: install_overlay and the join
+    # ramp both fire per-peer notifications.
+    bulk = slot_kernel is not None and bootstrap == "synthesized"
+    if bulk:
+        slot_kernel.bulk_rows = True
+    try:
+        bed.populate(
+            nodes,
+            brisa_factory(cfg, hpv_config, kernel=slot_kernel),
+            bootstrap=bootstrap,
+            degree=degree,
+            join_spacing=join_spacing,
+            settle=settle,
+            validate=True,
+            # The overlay is static during dissemination, so shuffle timers
+            # are never armed — at xxl populations this is the difference
+            # between spawning 100k nodes and spawning 100k nodes plus 100k
+            # scheduled shuffle events (DESIGN.md §8).
+            defer_timers=bootstrap != "simulated",
+        )
+    finally:
+        if bulk:
+            slot_kernel.bulk_rows = False
+    if bulk:
+        slot_kernel.install_rows(
+            [node.node_id for node in bed.nodes], bed.last_topology
+        )
     bootstrap_wall = time.perf_counter() - t0
     bed.stop_shuffles()
 
@@ -172,7 +216,7 @@ def run_scale_brisa(
     wall = stats.wall_time
 
     alive_nodes = bed.alive_nodes()
-    outcomes = brisa_stream_outcomes(sources, alive_nodes, bed.metrics, messages)
+    outcomes = brisa_stream_outcomes(sources, alive_nodes, messages)
     deliveries, delivered_fraction = aggregate_outcomes(outcomes, messages)
     complete = all(o.structure_complete for o in outcomes)
     reason = next(
@@ -180,7 +224,15 @@ def run_scale_brisa(
     )
     source_ids = {s.node_id for s in sources}
     receivers = set(bed.alive_ids()) - source_ids
-    dup_total = sum(bed.metrics.duplicates.get(n, 0) for n in receivers)
+    if slot_kernel is not None:
+        # Duplicate counts live in the slot planes; Metrics.duplicates is
+        # only fed by the object kernel's per-message handler.  Source
+        # nodes are excluded to match the object walk below (per-node
+        # counters cannot split a publisher's counts by stream).
+        dup_total = slot_kernel.duplicate_receptions(exclude_nodes=source_ids)
+    else:
+        dup_total = sum(bed.metrics.duplicates.get(n, 0) for n in receivers)
+    receptions = deliveries + dup_total
     relay_spread = None
     if streams > 1:
         from repro.experiments.structural import relay_load_spread
@@ -193,6 +245,7 @@ def run_scale_brisa(
         seed=seed,
         mode=cfg.mode,
         bootstrap=bootstrap if bootstrap in ("simulated", "synthesized") else "checkpoint",
+        kernel=kernel,
         bootstrap_wall=bootstrap_wall,
         sim_time=stats.sim_time,
         wall_time=wall,
@@ -201,6 +254,8 @@ def run_scale_brisa(
         deliveries=deliveries,
         deliveries_per_sec=deliveries / wall,
         delivered_fraction=delivered_fraction,
+        receptions=receptions,
+        receptions_per_sec=receptions / wall,
         structure_complete=complete,
         structure_reason=reason,
         duplicates_per_node=dup_total / len(receivers) if receivers else 0.0,
@@ -295,4 +350,122 @@ def bootstrap_comparison(
         simulated_wall=simulated_wall,
         synthesized_wall=synthesized_wall,
         simulated_events=simulated_events,
+    )
+
+
+# ----------------------------------------------------------------------
+# Kernel microbenchmark: object vs slotted BRISA at scale (DESIGN.md §11)
+# ----------------------------------------------------------------------
+@dataclass
+class BrisaMicrobenchResult:
+    """Same-machine BRISA delivery throughput at scale: the object
+    (per-node dict state) kernel vs the slotted (flat-array) kernel.
+
+    Throughput is the *steady-state* rate of receptions (first
+    deliveries plus duplicates — the unit of per-delivery handler +
+    maintenance work the slotted fast path cuts), measured
+    differentially: each kernel runs the identical scenario at two
+    stream lengths and the marginal rate is the reception delta over the
+    wall-clock delta.  Differencing cancels the fixed costs both kernels
+    share — overlay synthesis, the bootstrap flood, the §II-C
+    deactivation wave — and isolates the post-stabilization per-delivery
+    regime the kernel exists for (a long-lived stream spends its life
+    there; the emergence transient is paid once).  Runs are interleaved
+    object/slotted so machine drift hits both sides alike, and the best
+    wall per (kernel, length) over ``repeats`` is kept.
+    """
+
+    nodes: int
+    #: The two stream lengths of the differential measurement.
+    messages_lo: int
+    messages_hi: int
+    mode: str
+    #: Marginal receptions between the two lengths — identical on both
+    #: sides by the kernel-parity guarantee (checked at measurement time).
+    receptions: int
+    object_receptions_per_sec: float
+    slotted_receptions_per_sec: float
+
+    @property
+    def speedup(self) -> float:
+        """Steady-state per-delivery throughput ratio (the acceptance
+        metric)."""
+        return self.slotted_receptions_per_sec / max(
+            self.object_receptions_per_sec, 1e-9
+        )
+
+    def to_dict(self) -> dict:
+        d = asdict(self)
+        d["speedup"] = self.speedup
+        return d
+
+    def summary(self) -> str:
+        return "\n".join(
+            [
+                f"workload: {self.nodes} nodes, messages "
+                f"{self.messages_lo} -> {self.messages_hi} ({self.mode} mode, "
+                f"{self.receptions:,} marginal receptions)",
+                f"object kernel:  {self.object_receptions_per_sec:,.0f} "
+                f"steady-state receptions/s",
+                f"slotted kernel: {self.slotted_receptions_per_sec:,.0f} "
+                f"steady-state receptions/s",
+                f"speedup: {self.speedup:.2f}x",
+            ]
+        )
+
+
+def brisa_slotted_microbench(
+    nodes: int = 10_000, messages: int = 50, *,
+    messages_lo: int = 10,
+    mode: str = "tree", degree: int = 5, rate: float = 20.0,
+    seed: int = 3, repeats: int = 2,
+) -> BrisaMicrobenchResult:
+    """Measure the object BRISA kernel against the slotted kernel.
+
+    Both kernels run the *identical* xl-shaped scenario — same seed,
+    same synthesized overlay, same injection schedule, draw-for-draw the
+    same simulation — at two stream lengths (``messages_lo`` and
+    ``messages``), and the steady-state rate is the marginal receptions
+    over the marginal wall time (see :class:`BrisaMicrobenchResult`).
+    Reception counts must match across kernels at both lengths (verified
+    here; the full parity surface — delivery sets, tree edges, levels,
+    byte totals — is pinned by tests/test_slotted_parity.py).
+    """
+    if messages <= messages_lo:
+        raise ValueError("messages must exceed messages_lo for the "
+                         "differential measurement")
+
+    walls: dict[tuple[str, int], float] = {}
+    rx: dict[tuple[str, int], int] = {}
+    for _ in range(max(1, repeats)):
+        for length in (messages_lo, messages):
+            for kernel in ("object", "slotted"):
+                r = run_scale_brisa(
+                    nodes, length, mode=mode, degree=degree, rate=rate,
+                    seed=seed, kernel=kernel,
+                )
+                key = (kernel, length)
+                walls[key] = min(walls.get(key, float("inf")), r.wall_time)
+                rx[key] = r.receptions
+    for length in (messages_lo, messages):
+        if rx[("object", length)] != rx[("slotted", length)]:
+            raise SimulationError(
+                f"kernel parity violated at {length} messages: object "
+                f"kernel processed {rx[('object', length)]} receptions, "
+                f"slotted {rx[('slotted', length)]}"
+            )
+
+    def marginal(kernel: str) -> float:
+        drx = rx[(kernel, messages)] - rx[(kernel, messages_lo)]
+        dwall = walls[(kernel, messages)] - walls[(kernel, messages_lo)]
+        return drx / max(dwall, 1e-9)
+
+    return BrisaMicrobenchResult(
+        nodes=nodes,
+        messages_lo=messages_lo,
+        messages_hi=messages,
+        mode=mode,
+        receptions=rx[("object", messages)] - rx[("object", messages_lo)],
+        object_receptions_per_sec=marginal("object"),
+        slotted_receptions_per_sec=marginal("slotted"),
     )

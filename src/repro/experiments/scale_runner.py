@@ -16,10 +16,9 @@ Pieces, in stack order:
 - :class:`ScaleRunner` — phase mark + per-stream injection windows +
   timed drain, returning engine telemetry (:class:`DriveStats`);
 - :func:`flood_stream_outcomes` / :func:`brisa_stream_outcomes` — the
-  per-stream delivery accounting of the two stacks (node-state walk for
-  flood, which stays correct under churn on both kernels;
-  :meth:`Metrics.delivered_fraction` shards for BRISA, plus per-stream
-  §II-B structure invariants);
+  per-stream delivery accounting of the two stacks: both walk per-node
+  delivered counts (the one book every kernel keeps at scale, correct
+  under churn); BRISA adds the per-stream §II-B structure invariants;
 - :func:`aggregate_outcomes` / :func:`outcomes_summary` — the roll-up
   and the report block both stacks print;
 - :func:`merge_json` — the merge-write used for every BENCH/JSON
@@ -203,22 +202,24 @@ def flood_stream_outcomes(
 def brisa_stream_outcomes(
     sources: Sequence,
     alive_nodes: Sequence,
-    metrics,
     messages: int,
 ) -> list[StreamOutcome]:
-    """BRISA accounting: sharded Metrics counts + §II-B structure.
+    """BRISA accounting: per-node delivered counts + §II-B structure.
 
-    Delivery counts come from :meth:`Metrics.stream_delivery_count` over
-    the half-open ``[0, messages)`` window; every stream must also have
-    emerged a complete, acyclic structure over the live population.
+    Delivery counts walk ``node.delivered_count(stream)`` — answered by
+    ``StreamState.delivered`` on the object kernel and by the slot-plane
+    seen-rows on the slotted one, so the accounting is representation-
+    independent (Metrics shards are not populated at scale).  Every
+    stream must also have emerged a complete, acyclic structure over the
+    live population; :func:`~repro.core.structure.extract_structure`
+    reads whichever tree representation the node carries via
+    ``tree_parents``.
     """
     alive_ids = {node.node_id for node in alive_nodes}
     outcomes = []
     for stream_id, source in enumerate(sources):
-        receivers = alive_ids - {source.node_id}
-        deliveries = metrics.stream_delivery_count(
-            stream_id, receivers, window=(0, messages)
-        )
+        receivers = [node for node in alive_nodes if node is not source]
+        deliveries = sum(node.delivered_count(stream_id) for node in receivers)
         expected = len(receivers) * messages
         graph = extract_structure(alive_nodes, stream_id)
         complete, reason = is_complete_structure(graph, source.node_id, alive_ids)

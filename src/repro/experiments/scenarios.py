@@ -43,8 +43,10 @@ from repro.experiments.robustness import (
 from repro.experiments.scale import FAST, LARGE, PAPER, XL, XXL, Scale, get_scale
 from repro.experiments.scale_brisa import (
     BootstrapComparison,
+    BrisaMicrobenchResult,
     ScaleBrisaResult,
     bootstrap_comparison,
+    brisa_slotted_microbench,
     run_scale_brisa,
 )
 from repro.experiments.scale_flood import (
@@ -103,7 +105,9 @@ __all__ = [
     "XL",
     "XXL",
     "StructureDistributions",
+    "BrisaMicrobenchResult",
     "bootstrap_comparison",
+    "brisa_slotted_microbench",
     "build_static_flood_overlay",
     "engine_microbench",
     "occupancy_microbench",

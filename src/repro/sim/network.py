@@ -77,6 +77,9 @@ class Network:
         self._capacities: dict[NodeId, float] = {}
         #: Observers called as fn(node_id) after a crash is applied.
         self.crash_listeners: list[Callable[[NodeId], None]] = []
+        #: Slotted kernels (see :meth:`register_kernel`) whose per-node
+        #: slot state the network releases as the final step of a crash.
+        self._kernels: list = []
         #: When False, ``ProtocolNode.periodic`` creates timers without
         #: arming them — the bulk-bootstrap path flips this off while
         #: spawning so wiring 100k nodes schedules zero shuffle events
@@ -195,6 +198,11 @@ class Network:
         }
         for listener in self.crash_listeners:
             listener(node_id)
+        # Kernel slot release runs last: protocol teardown and crash
+        # listeners above may still read the node's slot state (rows,
+        # per-plane counters) before the slot is zeroed and recycled.
+        for kernel in self._kernels:
+            kernel.release_node(node_id)
 
     # ------------------------------------------------------------------
     # Links & failure detection
@@ -564,6 +572,17 @@ class Network:
         fan-out's receptions against flat arrays with locals bound once.
         """
         self._fan_sinks[kind] = sink
+
+    def register_kernel(self, kernel) -> None:
+        """Attach a slotted kernel's lifecycle to this network.
+
+        The kernel must expose ``release_node(node_id)``; :meth:`crash`
+        calls it after the node teardown and crash listeners, so dead
+        nodes' slot state — tree-edge rows, plane counters, Bloom
+        filter rows — is zeroed and recycled exactly once, however the
+        crash was initiated (churn driver, test, or protocol logic).
+        """
+        self._kernels.append(kernel)
 
     def _deliver_fan(self, src: NodeId, dsts: list[NodeId], msg: Message, size: int) -> None:
         """One event delivering a whole same-arrival fan-out."""

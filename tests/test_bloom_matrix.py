@@ -1,0 +1,114 @@
+"""BloomBitMatrix unit tests (§II-F / DESIGN.md §11).
+
+The packed bit-matrix must be an exact drop-in for the object kernel's
+per-node int-mask Bloom filters: same membership answers as
+``BloomFilterPredictor`` for any insertion history, growth-push row ORs
+equivalent to mask unions, and a crash release that zeroes exactly the
+victim's row.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bloom_matrix import BloomBitMatrix
+from repro.core.cycle import BloomFilterPredictor
+
+
+def test_rejects_nonpositive_bits():
+    with pytest.raises(ValueError):
+        BloomBitMatrix(0)
+    with pytest.raises(ValueError):
+        BloomBitMatrix(-8)
+
+
+def test_grow_is_monotone_and_zero_filled():
+    m = BloomBitMatrix(16, capacity=2)
+    m.set_row(1, 0xBEEF & 0xFFFF)
+    m.grow(5)
+    assert m.capacity == 5
+    assert m.as_int(1) == 0xBEEF & 0xFFFF  # existing rows untouched
+    assert all(m.as_int(slot) == 0 for slot in (2, 3, 4))
+    m.grow(3)  # never shrinks
+    assert m.capacity == 5
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    bits=st.integers(min_value=8, max_value=512),
+    hashes=st.integers(min_value=1, max_value=6),
+    ancestors=st.lists(st.integers(min_value=0, max_value=10_000), max_size=12),
+    probe=st.integers(min_value=0, max_value=10_000),
+)
+def test_membership_matches_object_predictor(bits, hashes, ancestors, probe):
+    """Insert/contains parity against the reference predictor: building
+    a row by per-ancestor inserts answers exactly like the int mask the
+    object kernel accumulates with ``adopt`` unions."""
+    pred = BloomFilterPredictor(bits, hashes)
+    m = BloomBitMatrix(bits, capacity=1)
+    mask = 0
+    for nid in ancestors:
+        node_mask = pred._node_mask(nid)
+        m.insert(0, node_mask)
+        mask |= node_mask
+    assert m.as_int(0) == mask
+    assert m.contains(0, pred._node_mask(probe)) == pred.contains(mask, probe)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    bits=st.integers(min_value=8, max_value=256),
+    masks=st.lists(st.integers(min_value=0, max_value=2**256 - 1), max_size=8),
+)
+def test_growth_push_or_equals_mask_union(bits, masks):
+    """§II-G growth pushes: a sequence of row ORs equals the union of
+    the pushed masks, and ``or_row`` reports growth iff new bits landed."""
+    limit = (1 << bits) - 1
+    m = BloomBitMatrix(bits, capacity=3)
+    acc = 0
+    for raw in masks:
+        mask = raw & limit
+        grew = m.or_row(2, mask)
+        assert grew == bool(mask & ~acc)
+        acc |= mask
+    assert m.as_int(2) == acc
+    # Re-pushing the accumulated filter is the no-op BloomUpdate dedups on.
+    assert m.or_row(2, acc) is False
+
+
+def test_set_row_overwrites_for_adoption_resync():
+    m = BloomBitMatrix(32, capacity=2)
+    m.or_row(0, 0xFFFF)
+    m.set_row(0, 0b1010)
+    assert m.as_int(0) == 0b1010  # overwrite, not union
+
+
+def test_clear_row_zeroes_exactly_the_released_slot():
+    """Crash release: the victim's filter row is zeroed; every other
+    row's bytes are untouched (slot recycling starts from a fresh row)."""
+    rng = random.Random(7)
+    m = BloomBitMatrix(64, capacity=6)
+    rows = {slot: rng.getrandbits(64) for slot in range(6)}
+    for slot, mask in rows.items():
+        m.set_row(slot, mask)
+    m.clear_row(3)
+    for slot, mask in rows.items():
+        assert m.as_int(slot) == (0 if slot == 3 else mask)
+    # The recycled slot accepts a fresh filter without residue.
+    m.insert(3, 0b110)
+    assert m.as_int(3) == 0b110
+
+
+def test_row_isolation_at_non_byte_aligned_widths():
+    """Widths that are not byte multiples still round to whole row
+    bytes — neighbouring rows must never alias."""
+    m = BloomBitMatrix(13, capacity=3)  # row_bytes = 2
+    full = (1 << 13) - 1
+    m.set_row(1, full)
+    assert m.as_int(0) == 0 and m.as_int(2) == 0
+    m.clear_row(1)
+    assert m.as_int(1) == 0

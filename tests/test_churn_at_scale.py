@@ -228,6 +228,117 @@ class TestSlotRecycling:
             assert joiner.delivered_count(stream) == 0
 
 
+class TestBrisaSlottedChurn:
+    """Churn against the slotted BRISA kernel (DESIGN.md §11): a crash
+    must release the victim's slot with *all* structural state zeroed —
+    tree-edge rows, relay rows, levels, Bloom filter row, maintenance
+    cache — and hand the clean slot to the next joiner."""
+
+    @staticmethod
+    def overlay(n: int = 96, *, seed: int = 3, predictor: str = "bloom"):
+        from repro.config import BrisaConfig
+        from repro.core.brisa_slotted import SlottedBrisaKernel
+        from repro.experiments.common import Testbed, brisa_factory
+
+        if predictor == "bloom":
+            cfg = BrisaConfig(mode="dag", num_parents=2,
+                              cycle_predictor="bloom", bloom_bits=256)
+        else:
+            cfg = BrisaConfig(mode="tree")
+        bed = Testbed(seed=seed, latency=ConstantLatency(0.001, seed=seed),
+                      record_deliveries=False)
+        kernel = SlottedBrisaKernel(bed.network, cfg)
+        kernel.bulk_rows = True
+        try:
+            bed.populate(n, brisa_factory(cfg, kernel=kernel),
+                         bootstrap="synthesized", validate=True,
+                         defer_timers=True)
+        finally:
+            kernel.bulk_rows = False
+        kernel.install_rows([node.node_id for node in bed.nodes],
+                            bed.last_topology)
+        bed.stop_shuffles()
+        return bed, kernel, brisa_factory(cfg, kernel=kernel)
+
+    def test_crash_releases_slot_with_structure_zeroed(self):
+        bed, kernel, factory = self.overlay()
+        sim, net = bed.sim, bed.network
+        source = bed.nodes[0]
+        for seq in range(3):
+            sim.call_at(sim.now + seq / 50.0, source.inject, 0, seq, 64)
+        sim.run_until_idle()
+        victim = bed.nodes[17]
+        slot = victim.slot
+        plane = kernel.plane(0)
+        # The stream materialized structure at the victim...
+        assert plane.states[slot] is not None
+        assert kernel.delivered_count(slot, 0) == 3
+        assert plane.parent_rows[slot] and plane.levels[slot] > 0
+        assert plane.matrix is not None and plane.matrix.as_int(slot) != 0
+        net.crash(victim.node_id)
+        # ...and the release zeroed every cell of the slot.
+        assert victim.node_id not in kernel.slot_of
+        assert slot in kernel._free
+        assert plane.states[slot] is None
+        assert plane.parent_rows[slot] == [] and plane.relay_rows[slot] == []
+        assert plane.levels[slot] == 0 and plane.active_in[slot] == 0
+        assert plane.delivered[slot] == 0 and plane.duplicates[slot] == 0
+        assert plane.payload_bytes[slot] == 0
+        assert plane.maint_src[slot] is None and plane.maint_cand[slot] is None
+        assert plane.maint_meta[slot] is None and plane.maint_targets[slot] is None
+        assert plane.matrix.as_int(slot) == 0
+        assert all(row[slot] == 0 for row in plane.rows)
+        assert kernel.rx_bytes[slot] == 0
+        assert kernel.neighbor_rows[slot] == []
+        sim.run_until_idle()  # failure notices + repairs settle
+        net.check_link_invariants()
+        # The next joiner inherits the recycled slot with a clean book.
+        net.autostart_timers = False
+        joiner = net.spawn(factory)
+        assert joiner.slot == slot
+        joiner.join(source.node_id)
+        sim.run_until_idle()
+        assert joiner.delivered_count(0) == 0
+        assert joiner.tree_parents(0) == []
+        net.check_link_invariants()
+
+    def test_driver_churn_keeps_invariants_on_slotted_brisa(self):
+        """A full ChurnDriver episode over the slotted BRISA stack:
+        kill/join schedule applies cleanly, released slots recycle, link
+        invariants hold, and no surviving view pins a dead peer."""
+        bed, kernel, factory = self.overlay(n=128, seed=9, predictor="tree")
+        sim, net = bed.sim, bed.network
+        net.autostart_timers = False
+        source = bed.nodes[0]
+        for seq in range(4):
+            sim.call_at(sim.now + seq / 50.0, source.inject, 0, seq, 64)
+
+        def join_fn():
+            node = net.spawn(factory)
+            node.join(source.node_id)
+            return node
+
+        trace = Trace((ConstChurn(0.0, 4.0, 8.0, 2.0),))
+        driver = ChurnDriver(sim, net, trace, join_fn,
+                             protected=(source.node_id,))
+        driver.apply()
+        sim.run_until_idle()
+        assert driver.stats.kills > 0
+        net.check_link_invariants()
+        dead = [node for node in bed.nodes if not node.alive]
+        assert dead
+        for node in dead:
+            assert node.node_id not in kernel.slot_of
+        for node in net.nodes.values():
+            if node.alive:
+                for peer in node.active:
+                    assert net.alive(peer), f"dead peer {peer} pinned in a view"
+        # Slot conservation: every slot is either owned by a live node
+        # or parked on the free list — none leak, none double-book.
+        assert len(kernel.slot_of) + len(kernel._free) == kernel.capacity
+        assert len(kernel.slot_of) == sum(1 for n in net.nodes.values() if n.alive)
+
+
 class TestAcceptAfterNoticeLeak:
     """A NeighborAccept landing after its sender's crash notice has fired
     used to re-register the link with nothing left in flight to reset it

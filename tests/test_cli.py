@@ -130,13 +130,34 @@ def test_scale_command_rejects_bad_streams(capsys):
     assert "spread" in capsys.readouterr().err
 
 
-def test_scale_flood_flags_rejected_on_brisa_stack(capsys):
-    for flag, value in (("--kernel", "slotted"), ("--churn", "5")):
-        assert main([
-            "scale", "--stack", "brisa", "--nodes", "32", flag, value,
-            "--no-microbench",
-        ]) == 2
-        assert "flood stack only" in capsys.readouterr().err
+def test_scale_churn_rejected_on_brisa_stack(capsys):
+    """--kernel works on both stacks since the slotted BRISA kernel
+    landed (DESIGN.md §11); --churn stays flood-only."""
+    assert main([
+        "scale", "--stack", "brisa", "--nodes", "32", "--churn", "5",
+        "--no-microbench",
+    ]) == 2
+    assert "flood stack only" in capsys.readouterr().err
+
+
+def test_scale_command_slotted_brisa_kernel(capsys, tmp_path):
+    out = tmp_path / "bench.json"
+    assert main([
+        "scale", "--stack", "brisa", "--nodes", "96", "--messages", "4",
+        "--streams", "2", "--kernel", "slotted", "--no-microbench",
+        "--json", str(out),
+    ]) == 0
+    printed = capsys.readouterr().out
+    assert "slotted kernel" in printed
+    assert "delivered: 100.00%" in printed
+    assert "complete/acyclic" in printed
+    import json
+
+    data = json.loads(out.read_text())
+    assert data["scale_run"]["kernel"] == "slotted"
+    assert data["scale_run"]["structure_complete"] is True
+    assert data["scale_run"]["delivered_fraction"] == 1.0
+    assert len(data["scale_run"]["per_stream"]) == 2
 
 
 def test_scale_command_uses_scale_population(capsys):

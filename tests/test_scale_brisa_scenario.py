@@ -3,7 +3,11 @@ the 2k/10k runs live in benchmarks/test_scale_brisa.py)."""
 
 import pytest
 
-from repro.experiments.scale_brisa import bootstrap_comparison, run_scale_brisa
+from repro.experiments.scale_brisa import (
+    bootstrap_comparison,
+    brisa_slotted_microbench,
+    run_scale_brisa,
+)
 
 
 class TestRunScaleBrisa:
@@ -55,6 +59,45 @@ class TestRunScaleBrisa:
             run_scale_brisa(64, 0)
         with pytest.raises(ValueError):
             run_scale_brisa(64, 5, rate=0.0)
+        with pytest.raises(ValueError):
+            run_scale_brisa(64, 5, kernel="vectorized")
+
+    def test_slotted_kernel_matches_object_outcome(self):
+        """The kernel switch is a pure throughput lever (DESIGN.md §11):
+        the slotted run reports the identical deterministic outcome."""
+        results = {
+            kernel: run_scale_brisa(96, 6, seed=6, streams=2, kernel=kernel)
+            for kernel in ("object", "slotted")
+        }
+        a, b = results["object"], results["slotted"]
+        assert b.kernel == "slotted" and "slotted kernel" in b.summary()
+        for field in (
+            "deliveries", "delivered_fraction", "receptions", "events",
+            "sim_time", "duplicates_per_node", "structure_complete",
+            "per_stream", "relay_spread",
+        ):
+            assert getattr(a, field) == getattr(b, field), field
+        assert b.delivered_fraction == 1.0
+        assert b.structure_complete, b.structure_reason
+
+
+class TestBrisaSlottedMicrobench:
+    def test_differential_measurement_shape(self):
+        mb = brisa_slotted_microbench(
+            96, 6, messages_lo=2, seed=3, repeats=1
+        )
+        # Marginal receptions: 4 extra messages to 95 receivers per kernel
+        # (parity between kernels is asserted inside the microbench).
+        assert mb.receptions == 95 * 4
+        assert mb.messages_lo == 2 and mb.messages_hi == 6
+        assert mb.object_receptions_per_sec > 0
+        assert mb.slotted_receptions_per_sec > 0
+        assert mb.speedup == mb.to_dict()["speedup"] > 0
+        assert "speedup" in mb.summary()
+
+    def test_rejects_degenerate_window(self):
+        with pytest.raises(ValueError):
+            brisa_slotted_microbench(64, 5, messages_lo=5)
 
 
 class TestBootstrapComparison:

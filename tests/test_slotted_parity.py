@@ -246,3 +246,247 @@ def test_unknown_kernel_rejected():
         build_static_flood_overlay(16, kernel="vectorized")
     with pytest.raises(ValueError):
         run_scale_flood(16, 1, kernel="bogus")
+
+
+# ======================================================================
+# BRISA kernels (DESIGN.md §11)
+# ======================================================================
+#
+# The slotted BRISA kernel carries strictly more state than the flood
+# one — tree-edge rows, stream levels, the packed Bloom bit-matrix and
+# the maintenance cache — so its parity contract adds the structural
+# plane to the flood contract: identical delivery records AND identical
+# emerged structures (parent edges, levels, predictor positions),
+# with the flat arrays agreeing cell-for-cell with the object-level
+# StreamState they mirror.
+
+from repro.config import BrisaConfig
+from repro.core.brisa_slotted import SlottedBrisaKernel
+from repro.experiments.common import Testbed as _Testbed
+from repro.experiments.common import brisa_factory
+from repro.experiments.scale_brisa import run_scale_brisa
+from repro.experiments.scale_runner import ScaleRunner, spread_sources
+
+#: The three predictor regimes of §II-D/§II-G; small Bloom filters keep
+#: false-positive parent rejections reachable at test populations.
+BRISA_CONFIGS = {
+    "tree-path": lambda: BrisaConfig(mode="tree"),
+    "dag-depth": lambda: BrisaConfig(mode="dag", num_parents=2),
+    "dag-bloom": lambda: BrisaConfig(
+        mode="dag", num_parents=2, cycle_predictor="bloom", bloom_bits=256
+    ),
+}
+
+
+def brisa_run(kernel: str, n: int, messages: int, seed: int, config_kind: str,
+              latency_kind: str = "zero-cost", streams: int = 1,
+              churn: bool = False):
+    """One recorded BRISA run; returns (testbed, sources).
+
+    Mirrors ``run_scale_brisa``'s synthesized-bootstrap construction but
+    with ``record_deliveries=True`` so the full Metrics record set is
+    comparable.  ``churn=True`` schedules three mid-stream crashes plus
+    two joiners (slot release + recycling on the slotted side)."""
+    cfg = BRISA_CONFIGS[config_kind]()
+    bed = _Testbed(
+        seed=seed,
+        latency=LATENCIES[latency_kind](seed),
+        record_deliveries=True,
+    )
+    slot_kernel = None
+    if kernel == "slotted":
+        slot_kernel = SlottedBrisaKernel(bed.network, cfg)
+        slot_kernel.bulk_rows = True
+    try:
+        bed.populate(
+            n, brisa_factory(cfg, kernel=slot_kernel),
+            bootstrap="synthesized", validate=True, defer_timers=True,
+        )
+    finally:
+        if slot_kernel is not None:
+            slot_kernel.bulk_rows = False
+    if slot_kernel is not None:
+        slot_kernel.install_rows(
+            [node.node_id for node in bed.nodes], bed.last_topology
+        )
+    bed.stop_shuffles()
+    sources = spread_sources(bed.nodes, streams)
+    runner = ScaleRunner(
+        bed.sim, bed.network, sources,
+        messages=messages, rate=50.0, payload_bytes=64,
+    )
+    start = runner.schedule()
+    if churn:
+        _schedule_brisa_churn(bed, sources, start, span=messages / 50.0)
+    runner.drain(start)
+    return bed, sources
+
+
+def _schedule_brisa_churn(bed, sources, start, span) -> None:
+    """Three deterministic kills spread over the window + two joiners.
+
+    Joiners arm no periodic timers (same idiom as the flood churn
+    driver), so the heap still drains when the last repair settles."""
+    net = bed.network
+    net.autostart_timers = False
+    protected = {s.node_id for s in sources}
+    victims = [node for node in bed.nodes if node.node_id not in protected]
+    picks = [victims[len(victims) // 4], victims[len(victims) // 2],
+             victims[(3 * len(victims)) // 4]]
+    for i, victim in enumerate(picks):
+        bed.sim.call_at(start + span * (i + 1) / 5.0, net.crash, victim.node_id)
+    for i in range(2):
+        bed.sim.call_at(start + span * (i + 3) / 5.0 + 1e-4, bed.spawn_joiner)
+
+
+def brisa_structure_snapshot(bed, streams: int) -> dict:
+    """The §II-B structural plane, per stream: parent edges, levels and
+    predictor positions of every live node — the state the slotted
+    kernel re-homes into flat arrays."""
+    out = {}
+    for stream in range(streams):
+        per = {}
+        for node in bed.alive_nodes():
+            state = node.streams.get(stream)
+            per[node.node_id] = (
+                sorted(node.tree_parents(stream)),
+                None if state is None else state.hops,
+                None if state is None else state.position,
+            )
+        out[stream] = per
+    return out
+
+
+def assert_brisa_arrays_consistent(bed, streams: int) -> None:
+    """Every slot-plane cell must agree with the StreamState it mirrors
+    (and the Bloom matrix row with the object-level int mask)."""
+    kernel = bed.nodes[0].kernel
+    m = bed.metrics
+    for node in bed.alive_nodes():
+        slot = node.slot
+        assert kernel.slot_duplicates(slot) == m.duplicates.get(node.node_id, 0)
+        for stream in range(streams):
+            state = node.streams.get(stream)
+            if state is None:
+                continue
+            plane = kernel.plane(stream)
+            assert kernel.delivered_count(slot, stream) == len(state.delivered)
+            assert plane.levels[slot] == (state.hops or 0)
+            assert sorted(plane.parent_rows[slot]) == sorted(state.parents)
+            assert sorted(plane.relay_rows[slot]) == sorted(
+                p for p in node.active if p not in state.out_deactivated
+            )
+            assert plane.active_in[slot] == sum(
+                1 for active in state.in_active.values() if active
+            )
+            if plane.matrix is not None:
+                assert plane.matrix.as_int(slot) == (state.position or 0)
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(
+    n=st.integers(min_value=24, max_value=128),
+    messages=st.integers(min_value=1, max_value=3),
+    seed=st.integers(min_value=0, max_value=2**20),
+    config_kind=st.sampled_from(sorted(BRISA_CONFIGS)),
+    latency_kind=st.sampled_from(sorted(LATENCIES)),
+)
+@example(n=64, messages=2, seed=3, config_kind="tree-path", latency_kind="zero-cost")
+@example(n=64, messages=2, seed=3, config_kind="dag-depth", latency_kind="zero-cost")
+@example(n=64, messages=2, seed=3, config_kind="dag-bloom", latency_kind="zero-cost")
+@example(n=48, messages=2, seed=11, config_kind="dag-depth", latency_kind="occupancy")
+def test_slotted_brisa_matches_object_kernel(
+    n, messages, seed, config_kind, latency_kind
+):
+    """Full-stack BRISA parity: delivery records, duplicates, byte
+    totals, schedules AND the emerged structure, across every predictor
+    and both latency regimes."""
+    runs = {
+        kernel: brisa_run(kernel, n, messages, seed, config_kind, latency_kind)
+        for kernel in ("object", "slotted")
+    }
+    (bed_o, _), (bed_s, _) = runs["object"], runs["slotted"]
+    assert snapshot(bed_o.sim, bed_o.network, bed_o.alive_nodes()) == snapshot(
+        bed_s.sim, bed_s.network, bed_s.alive_nodes()
+    )
+    assert brisa_structure_snapshot(bed_o, 1) == brisa_structure_snapshot(bed_s, 1)
+    assert_brisa_arrays_consistent(bed_s, 1)
+
+
+def test_slotted_brisa_multistream_parity():
+    """K concurrent trees over one overlay (§IV): per-plane counters,
+    per-stream Metrics shards and per-stream structures all agree."""
+    streams = 3
+    runs = {
+        kernel: brisa_run(kernel, 96, 3, seed=7, config_kind="dag-depth",
+                          streams=streams)
+        for kernel in ("object", "slotted")
+    }
+    (bed_o, _), (bed_s, _) = runs["object"], runs["slotted"]
+    assert len(bed_o.metrics.streams) == streams
+    assert snapshot(bed_o.sim, bed_o.network, bed_o.alive_nodes()) == snapshot(
+        bed_s.sim, bed_s.network, bed_s.alive_nodes()
+    )
+    assert brisa_structure_snapshot(bed_o, streams) == brisa_structure_snapshot(
+        bed_s, streams
+    )
+    assert_brisa_arrays_consistent(bed_s, streams)
+    kernel = bed_s.nodes[0].kernel
+    assert set(kernel.plane_of) == set(bed_s.metrics.streams)
+    for stream, shard in bed_o.metrics.streams.items():
+        plane = kernel.plane(stream)
+        assert sum(plane.duplicates) == shard.duplicate_receptions
+
+
+def test_brisa_kernels_agree_under_churn():
+    """Mid-stream crashes + joiners: slot release, tree-edge-row and
+    Bloom-row zeroing, slot recycling and the repair machinery must keep
+    both kernels on the same simulation."""
+    runs = {
+        kernel: brisa_run(kernel, 96, 6, seed=5, config_kind="tree-path",
+                          churn=True)
+        for kernel in ("object", "slotted")
+    }
+    (bed_o, _), (bed_s, _) = runs["object"], runs["slotted"]
+    assert len(bed_o.alive_nodes()) == 96 - 3 + 2
+    assert snapshot(bed_o.sim, bed_o.network, bed_o.alive_nodes()) == snapshot(
+        bed_s.sim, bed_s.network, bed_s.alive_nodes()
+    )
+    assert brisa_structure_snapshot(bed_o, 1) == brisa_structure_snapshot(bed_s, 1)
+    assert_brisa_arrays_consistent(bed_s, 1)
+    for bed in (bed_o, bed_s):
+        bed.network.check_link_invariants()
+    # Crashed nodes left the slot table; their recycled slots were
+    # handed to the joiners (3 kills, 2 joins -> one slot still free).
+    kernel = bed_s.nodes[0].kernel
+    dead = [node.node_id for node in bed_s.nodes if not node.alive]
+    assert len(dead) == 3
+    assert not any(nid in kernel.slot_of for nid in dead)
+    assert len(kernel._free) == 1
+    assert kernel.capacity == 96  # joiners reused released slots
+
+
+def test_brisa_kernel_rejects_predictor_mismatch():
+    """One kernel serves one rule table: attaching a node whose config
+    selects a different predictor is a hard error, not silent skew."""
+    from repro.errors import SimulationError
+
+    bed = _Testbed(seed=1, latency=ConstantLatency(0.001, seed=1))
+    kernel = SlottedBrisaKernel(bed.network, BrisaConfig(mode="tree"))
+    with pytest.raises(SimulationError):
+        bed.populate(
+            4,
+            brisa_factory(
+                BrisaConfig(mode="dag", num_parents=2), kernel=kernel
+            ),
+            bootstrap="synthesized",
+        )
+
+
+def test_unknown_brisa_kernel_rejected():
+    with pytest.raises(ValueError):
+        run_scale_brisa(16, 1, kernel="vectorized")
