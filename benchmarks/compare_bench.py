@@ -44,6 +44,7 @@ GATED_METRICS: dict[str, list[tuple[str, str, float | None]]] = {
         ("microbench.speedup", "higher", RATIO_TOLERANCE),
         ("occupancy_microbench.speedup", "higher", RATIO_TOLERANCE),
         ("slotted_microbench.speedup", "higher", RATIO_TOLERANCE),
+        ("vectorized_microbench.speedup", "higher", RATIO_TOLERANCE),
         ("multistream_microbench.efficiency", "higher", RATIO_TOLERANCE),
         ("multistream.delivered_fraction", "higher", None),
         ("multistream.deliveries", "higher", None),
@@ -53,6 +54,8 @@ GATED_METRICS: dict[str, list[tuple[str, str, float | None]]] = {
         ("xxl.delivered_fraction", "higher", None),
         ("xxl.events", "lower", None),
         ("xxl_churn.delivered_fraction", "higher", None),
+        ("xxxl.delivered_fraction", "higher", None),
+        ("xxxl.events", "lower", None),
     ],
     "BENCH_scale_brisa.json": [
         ("scale_run.delivered_fraction", "higher", None),
@@ -153,6 +156,13 @@ def main(argv: list[str] | None = None) -> int:
              "itself",
     )
     parser.add_argument(
+        "--prune-xxxl", type=pathlib.Path, metavar="DIR",
+        help="strip the nightly-only 1M-node 'xxxl' entry from BENCH_*.json "
+             "in DIR and exit.  Same rationale as --prune-xxl: per-push CI "
+             "never runs the xxxl rung, so the merge-written artifacts must "
+             "not inherit the committed entry",
+    )
+    parser.add_argument(
         "--baseline", type=pathlib.Path,
         default=pathlib.Path(__file__).parent / "out",
         help="directory of committed baselines (default: benchmarks/out)",
@@ -163,23 +173,25 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    prune_jobs: list[tuple[pathlib.Path, tuple[str, ...]]] = []
     if args.prune_xxl is not None:
-        for name in sorted(GATED_METRICS):
-            path = args.prune_xxl / name
-            if not path.exists():
-                continue
-            data = json.loads(path.read_text())
-            pruned = [
-                key
-                for key in ("xxl", "xxl_churn", "xxl_slotted")
-                if data.pop(key, None) is not None
-            ]
-            if pruned:
-                path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
-                print(f"{name}: pruned stale {', '.join(pruned)} entr{'y' if len(pruned) == 1 else 'ies'}")
+        prune_jobs.append((args.prune_xxl, ("xxl", "xxl_churn", "xxl_slotted")))
+    if args.prune_xxxl is not None:
+        prune_jobs.append((args.prune_xxxl, ("xxxl",)))
+    if prune_jobs:
+        for directory, keys in prune_jobs:
+            for name in sorted(GATED_METRICS):
+                path = directory / name
+                if not path.exists():
+                    continue
+                data = json.loads(path.read_text())
+                pruned = [key for key in keys if data.pop(key, None) is not None]
+                if pruned:
+                    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+                    print(f"{name}: pruned stale {', '.join(pruned)} entr{'y' if len(pruned) == 1 else 'ies'}")
         return 0
     if args.candidate is None:
-        parser.error("--candidate is required (unless --prune-xxl)")
+        parser.error("--candidate is required (unless --prune-xxl/--prune-xxxl)")
 
     all_regressions: list[str] = []
     for name in sorted(GATED_METRICS):

@@ -13,12 +13,17 @@ Acceptance gates:
 - the fused hot path sustains >= 2x the pre-overhaul engine's delivery
   throughput (``microbench.speedup``);
 - the fused occupancy fan-out sustains >= 2x the per-message occupancy
-  path (``occupancy_microbench.speedup``).
+  path (``occupancy_microbench.speedup``);
+- the vectorized batch-drain kernel sustains >= 3x the slotted kernel's
+  per-reception throughput (``vectorized_microbench.speedup``,
+  DESIGN.md §12).
 
 The ``xxl`` (100k-node) rung opened by the array-backed bootstrap runs
-behind ``REPRO_XXL=1`` — it is exercised by the nightly CI workflow and
-by driver acceptance runs, not by per-push CI.  A 2k-node smoke variant
-(``-k smoke``) covers CI pushes where even the 10k run would be heavy.
+behind ``REPRO_XXL=1``; the ``xxxl`` (1M-node) rung opened by the
+vectorized kernel runs behind ``REPRO_XXXL=1`` — both are exercised by
+the nightly CI workflow and by driver acceptance runs, not by per-push
+CI.  A 2k-node smoke variant (``-k smoke``) covers CI pushes where even
+the 10k run would be heavy.
 """
 
 import os
@@ -26,13 +31,14 @@ import os
 import pytest
 
 from repro.experiments.report import banner
-from repro.experiments.scale import LARGE, XL, XXL
+from repro.experiments.scale import LARGE, XL, XXL, XXXL
 from repro.experiments.scale_flood import (
     engine_microbench,
     multistream_microbench,
     occupancy_microbench,
     run_scale_flood,
     slotted_microbench,
+    vectorized_microbench,
 )
 
 from benchmarks.conftest import OUT_DIR, merge_bench_json
@@ -108,6 +114,31 @@ def test_slotted_kernel_xl(emit):
     # Same CI-relaxation story as the other speedup gates: the strict 2x
     # applies on dedicated hardware, shared runners set the env override.
     gate = float(os.environ.get("BENCH_SLOTTED_SPEEDUP_GATE", "2.0"))
+    assert mb.speedup >= gate, mb.summary()
+    assert mb.receptions > 0
+
+
+def test_vectorized_kernel_xl(emit):
+    """The vectorized-kernel gate (DESIGN.md §12): numpy batch-drain
+    delivery must clear 3x the slotted kernel's per-reception throughput
+    on the xl run (measured ~3.2-4x locally), with identical reception
+    counts (cross-checked inside vectorized_microbench; the full parity
+    surface is pinned by tests/test_slotted_parity.py)."""
+    pytest.importorskip("numpy")
+    mb = vectorized_microbench(XL.cluster_nodes, MESSAGES, seed=3)
+    emit(
+        "scale_flood_vectorized",
+        banner("Vectorized microbenchmark — slotted vs numpy batch-drain kernel")
+        + "\n" + mb.summary(),
+    )
+    OUT_DIR.mkdir(exist_ok=True)
+    merge_bench_json(
+        OUT_DIR / "BENCH_scale.json", {"vectorized_microbench": mb.to_dict()}
+    )
+
+    # Same CI-relaxation story as the other speedup gates: the strict 3x
+    # applies on dedicated hardware, shared runners set the env override.
+    gate = float(os.environ.get("BENCH_VECTORIZED_GATE", "3.0"))
     assert mb.speedup >= gate, mb.summary()
     assert mb.receptions > 0
 
@@ -216,6 +247,32 @@ def test_scale_flood_xxl_slotted_churn(emit):
 
     assert result.kills > 0
     assert result.delivered_fraction >= 0.99
+
+
+@pytest.mark.skipif(
+    not os.environ.get("REPRO_XXXL"),
+    reason="1M rung runs nightly / on demand (set REPRO_XXXL=1)",
+)
+def test_scale_flood_xxxl_1m(emit):
+    """The 1M rung (DESIGN.md §12): CSR bootstrap + vectorized batch
+    drains end to end — only the numpy kernel makes this population
+    tractable, so it is the rung's sole configuration."""
+    pytest.importorskip("numpy")
+    result = run_scale_flood(
+        XXXL.cluster_nodes, XXXL.messages, rate=20.0, seed=3,
+        kernel="vectorized",
+    )
+    emit(
+        "scale_flood_xxxl",
+        banner(f"Scale flood — {result.nodes} nodes (xxxl, vectorized)")
+        + "\n" + result.summary(),
+    )
+    OUT_DIR.mkdir(exist_ok=True)
+    merge_bench_json(OUT_DIR / "BENCH_scale.json", {"xxxl": result.to_dict()})
+
+    assert result.nodes == XXXL.cluster_nodes
+    assert result.delivered_fraction == 1.0
+    assert result.deliveries == (XXXL.cluster_nodes - 1) * XXXL.messages
 
 
 def test_scale_flood_smoke_2k(emit):

@@ -265,6 +265,22 @@ class SlottedFloodKernel:
                 row[slot] = _UNSEEN
         self._free.append(slot)
 
+    def row_append(self, slot: int, peer: NodeId) -> None:
+        """Record a new live peer in ``slot``'s fan-out row.
+
+        Row mutations funnel through this pair of methods (rather than
+        poking ``fanout_rows`` directly) so subclasses that keep derived
+        per-row state — the vectorized kernel caches numpy mirrors —
+        can invalidate it at the mutation site."""
+        self.fanout_rows[slot].append(peer)
+
+    def row_remove(self, slot: int, peer: NodeId) -> None:
+        """Drop ``peer`` from ``slot``'s fan-out row (no-op when absent)."""
+        try:
+            self.fanout_rows[slot].remove(peer)
+        except ValueError:
+            pass
+
     def install_rows(self, ids, topo) -> None:
         """Bulk-build the fan-out rows from CSR adjacency arrays.
 
@@ -529,14 +545,10 @@ class SlottedFloodNode(HyParViewNode):
         # rows come from one install_rows pass instead.
         kernel = self.kernel
         if not kernel.bulk_rows:
-            kernel.fanout_rows[self.slot].append(peer)
+            kernel.row_append(self.slot, peer)
 
     def neighbor_down(self, peer: NodeId, failure: bool) -> None:
-        row = self.kernel.fanout_rows[self.slot]
-        try:
-            row.remove(peer)
-        except ValueError:
-            pass
+        self.kernel.row_remove(self.slot, peer)
 
     def on_crash(self) -> None:
         super().on_crash()

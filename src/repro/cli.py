@@ -11,6 +11,8 @@ Commands mirror the per-experiment index of DESIGN.md §4::
     python -m repro scale --scale xxl --messages 10 --no-microbench  # 100k rung
     python -m repro scale --scale xl --churn 1 --kernel slotted      # churn at scale
     python -m repro scale --stack brisa --size xl --streams 8        # §IV multi-stream
+    python -m repro scale --size xxxl --kernel vectorized --messages 10 \
+        --no-microbench                                              # 1M-node rung
 """
 
 from __future__ import annotations
@@ -139,13 +141,14 @@ def make_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list reproducible artifacts")
     run = sub.add_parser("run", help="run one artifact (or 'all')")
     run.add_argument("experiment", choices=[*EXPERIMENTS, "all"])
-    run.add_argument("--scale", default=None, help="tiny | fast | paper | large | xl | xxl")
+    run.add_argument("--scale", default=None,
+                     help="tiny | fast | paper | large | xl | xxl | xxxl")
     sub.add_parser("quickstart", help="run the README quickstart")
     sc_cmd = sub.add_parser(
         "scale", help="large-scale dissemination benchmark (see DESIGN.md §6–7)"
     )
     sc_cmd.add_argument("--scale", "--size", dest="scale", default="large",
-                        help="tiny | fast | paper | large | xl | xxl")
+                        help="tiny | fast | paper | large | xl | xxl | xxxl")
     sc_cmd.add_argument("--stack", choices=["flood", "brisa"], default="flood",
                         help="protocol stack: flood baseline or the full BRISA stack")
     sc_cmd.add_argument("--nodes", type=int, default=None,
@@ -161,10 +164,12 @@ def make_parser() -> argparse.ArgumentParser:
     sc_cmd.add_argument("--bootstrap", default=None, metavar="KIND",
                         help="brisa stack only: synthesized (default) | simulated | "
                              "path to an overlay checkpoint")
-    sc_cmd.add_argument("--kernel", choices=["object", "slotted"], default=None,
-                        help="delivery kernel, both stacks (default object; "
-                             "slotted = flat-array state, DESIGN.md §9 for "
-                             "flood, §11 for brisa)")
+    sc_cmd.add_argument("--kernel", choices=["object", "slotted", "vectorized"],
+                        default=None,
+                        help="delivery kernel (default object; slotted = "
+                             "flat-array state, DESIGN.md §9 for flood, §11 for "
+                             "brisa; vectorized = numpy batch-drain kernel, "
+                             "flood stack only, DESIGN.md §12)")
     sc_cmd.add_argument("--churn", type=float, default=None, metavar="PCT",
                         help="flood stack only: kill PCT%% of the population at "
                              "random instants during the stream (sources protected) "

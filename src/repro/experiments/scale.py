@@ -4,9 +4,10 @@
 512 cluster nodes, 150–200 PlanetLab nodes, 500 messages at 5/s, 10 min
 of churn).  ``fast`` shrinks everything shape-preservingly so the whole
 bench suite completes in minutes.  ``large`` (2k), ``xl`` (10k) and
-``xxl`` (100k) go beyond the paper for the scale benchmarks enabled by
-the simulator hot-path overhaul and the array-backed bootstrap.  Select
-with ``REPRO_SCALE=paper`` etc.
+``xxl`` (100k) and ``xxxl`` (1M) go beyond the paper for the scale
+benchmarks enabled by the simulator hot-path overhaul, the array-backed
+bootstrap and the vectorized batch-drain kernel.  Select with
+``REPRO_SCALE=paper`` etc.
 """
 
 from __future__ import annotations
@@ -123,6 +124,23 @@ XXL = Scale(
     join_spacing=0.01,
 )
 
+#: The 1M rung (DESIGN.md §12): only reachable through the vectorized
+#: batch-drain kernel — at this population even the pure-python slotted
+#: per-reception loop is the wall.  Exercised by the nightly CI workflow
+#: behind ``REPRO_XXXL=1``, not by per-push CI.
+XXXL = Scale(
+    name="xxxl",
+    cluster_nodes=1_000_000,
+    planetlab_nodes=150,
+    planetlab_nodes_large=200,
+    small_nodes=512,
+    messages=10,
+    churn_duration=300.0,
+    churn_period=60.0,
+    settle=60.0,
+    join_spacing=0.01,
+)
+
 SCALES = {
     "paper": PAPER,
     "fast": FAST,
@@ -130,6 +148,7 @@ SCALES = {
     "large": LARGE,
     "xl": XL,
     "xxl": XXL,
+    "xxxl": XXXL,
 }
 
 

@@ -15,6 +15,7 @@ accounting) is shared with the flood stack through
 
 from __future__ import annotations
 
+import gc
 import time
 from dataclasses import asdict, dataclass, field
 from typing import Optional
@@ -430,6 +431,12 @@ def brisa_slotted_microbench(
     Reception counts must match across kernels at both lengths (verified
     here; the full parity surface — delivery sets, tree edges, levels,
     byte totals — is pinned by tests/test_slotted_parity.py).
+
+    Each timed run executes with the caller's surviving heap frozen out
+    of the collector (``gc.freeze``): gen-2 scans cost the same
+    *absolute* time in either kernel, so a long-lived process full of
+    unrelated objects taxes the faster side proportionally more and
+    deflates the ratio.  GC stays enabled for the run's own garbage.
     """
     if messages <= messages_lo:
         raise ValueError("messages must exceed messages_lo for the "
@@ -440,10 +447,15 @@ def brisa_slotted_microbench(
     for _ in range(max(1, repeats)):
         for length in (messages_lo, messages):
             for kernel in ("object", "slotted"):
-                r = run_scale_brisa(
-                    nodes, length, mode=mode, degree=degree, rate=rate,
-                    seed=seed, kernel=kernel,
-                )
+                gc.collect()
+                gc.freeze()
+                try:
+                    r = run_scale_brisa(
+                        nodes, length, mode=mode, degree=degree, rate=rate,
+                        seed=seed, kernel=kernel,
+                    )
+                finally:
+                    gc.unfreeze()
                 key = (kernel, length)
                 walls[key] = min(walls.get(key, float("inf")), r.wall_time)
                 rx[key] = r.receptions

@@ -29,11 +29,13 @@ per-stream delivery accounting — is shared with the BRISA stack through
 
 from __future__ import annotations
 
+import gc
 import time
 from dataclasses import asdict, dataclass, field
 from typing import Optional
 
 from repro.baselines.flood import FloodNode, SlottedFloodKernel, SlottedFloodNode
+from repro.core.flood_vectorized import VectorizedFloodKernel
 from repro.config import HyParViewConfig
 from repro.errors import SimulationError
 from repro.ids import NodeId
@@ -144,9 +146,10 @@ def build_static_flood_overlay(
     and a drained heap then marks the exact end of dissemination.
 
     ``kernel`` selects the flood delivery implementation: ``"object"``
-    (per-node dict state, the reference) or ``"slotted"`` (shared
-    flat-array kernel, DESIGN.md §9).  Both are draw-for-draw equivalent
-    for one seed.
+    (per-node dict state, the reference), ``"slotted"`` (shared
+    flat-array kernel, DESIGN.md §9) or ``"vectorized"`` (numpy slot
+    planes draining whole fan-out batches, DESIGN.md §12; requires
+    numpy).  All are draw-for-draw equivalent for one seed.
     """
     from repro.experiments.bootstrap import synthesize_overlay
 
@@ -176,7 +179,7 @@ def build_static_flood_overlay(
     # arrays — one bulk pass over flat arrays; the per-peer notification
     # appends the install would fire are suppressed meanwhile (contents
     # identical either way, pinned by the parity tests).
-    slot_kernel = nodes[0].kernel if kernel == "slotted" else None
+    slot_kernel = nodes[0].kernel if kernel in ("slotted", "vectorized") else None
     if slot_kernel is not None:
         slot_kernel.bulk_rows = True
     try:
@@ -198,18 +201,23 @@ def flood_node_factory(
 ):
     """Node factory for one flood delivery kernel (``spawn``-compatible).
 
-    For ``"slotted"`` the factory closes over one shared
-    :class:`SlottedFloodKernel`: a fresh one by default (population
+    For ``"slotted"`` and ``"vectorized"`` the factory closes over one
+    shared kernel (:class:`SlottedFloodKernel` /
+    :class:`VectorizedFloodKernel`): a fresh one by default (population
     bootstrap), or the existing kernel passed as ``slot_kernel`` so
     churn joiners land in the same arrays and recycle freed slots.
     """
-    if kernel == "slotted":
+    if kernel in ("slotted", "vectorized"):
         if slot_kernel is None:
-            slot_kernel = SlottedFloodKernel(net)
+            cls = VectorizedFloodKernel if kernel == "vectorized" else SlottedFloodKernel
+            slot_kernel = cls(net)
         return lambda network, nid: SlottedFloodNode(network, nid, hpv, kernel=slot_kernel)
     if kernel == "object":
         return lambda network, nid: FloodNode(network, nid, hpv)
-    raise ValueError(f"unknown flood kernel {kernel!r} (expected 'object' or 'slotted')")
+    raise ValueError(
+        f"unknown flood kernel {kernel!r} "
+        "(expected 'object', 'slotted' or 'vectorized')"
+    )
 
 
 def run_scale_flood(
@@ -299,7 +307,7 @@ def run_scale_flood(
     alive_initial = [node for node in flood_nodes if node.alive]
     outcomes = flood_stream_outcomes(sources, alive_initial, messages)
     deliveries, delivered_fraction = aggregate_outcomes(outcomes, messages)
-    if kernel == "slotted":
+    if kernel in ("slotted", "vectorized"):
         receptions = flood_nodes[0].kernel.receptions
     else:
         receptions = sum(
@@ -713,6 +721,104 @@ def slotted_microbench(
         receptions=obj.receptions,
         object_receptions_per_sec=obj.receptions_per_sec,
         slotted_receptions_per_sec=slotted.receptions_per_sec,
+    )
+
+
+# ----------------------------------------------------------------------
+# Vectorized microbenchmark: slotted kernel vs numpy batch kernel
+# ----------------------------------------------------------------------
+@dataclass
+class VectorizedMicrobenchResult:
+    """Same-machine flood delivery throughput at scale: the slotted
+    (pure-python flat-array) kernel vs the vectorized (numpy batch-drain)
+    kernel (DESIGN.md §12).  Like :class:`SlottedMicrobenchResult`, the
+    unit is *receptions* per second over the full ``repro scale``-shaped
+    dissemination loop."""
+
+    nodes: int
+    messages: int
+    #: Receptions processed per run — identical on both sides by the
+    #: kernel-parity guarantee (checked at measurement time).
+    receptions: int
+    slotted_receptions_per_sec: float
+    vectorized_receptions_per_sec: float
+
+    @property
+    def speedup(self) -> float:
+        """Per-reception throughput ratio (the acceptance metric)."""
+        return self.vectorized_receptions_per_sec / max(
+            self.slotted_receptions_per_sec, 1e-9
+        )
+
+    def to_dict(self) -> dict:
+        d = asdict(self)
+        d["speedup"] = self.speedup
+        return d
+
+    def summary(self) -> str:
+        return "\n".join(
+            [
+                f"workload: {self.nodes} nodes x {self.messages} messages "
+                f"({self.receptions:,} receptions)",
+                f"slotted kernel:    {self.slotted_receptions_per_sec:,.0f} receptions/s",
+                f"vectorized kernel: {self.vectorized_receptions_per_sec:,.0f} receptions/s",
+                f"speedup: {self.speedup:.2f}x",
+            ]
+        )
+
+
+def vectorized_microbench(
+    nodes: int = 10_000, messages: int = 20, *,
+    degree: int = 5, rate: float = 20.0, seed: int = 3, repeats: int = 2,
+) -> VectorizedMicrobenchResult:
+    """Measure the slotted flood kernel against the vectorized kernel.
+
+    Both sides run the *identical* xl-shaped scenario — same seed, same
+    synthesized overlay, same injection schedule, draw-for-draw the same
+    simulation — so the reception count must match exactly (verified
+    here; the full parity surface is pinned by
+    tests/test_slotted_parity.py).  The best of ``repeats`` runs is kept
+    per side.  Requires numpy (the vectorized side raises a
+    :class:`SimulationError` without it).
+
+    The timed runs execute with the caller's surviving heap frozen out
+    of the collector (``gc.freeze``): gen-2 scans cost the same
+    *absolute* time in either kernel, so a long-lived process full of
+    unrelated objects (a pytest session deep into the suite) taxes the
+    faster side proportionally more and deflates the ratio.  GC stays
+    enabled, so garbage the run itself creates is still collected.
+    """
+
+    def one(kernel: str) -> ScaleFloodResult:
+        gc.collect()
+        gc.freeze()
+        try:
+            return run_scale_flood(
+                nodes, messages, degree=degree, rate=rate, seed=seed,
+                kernel=kernel,
+            )
+        finally:
+            gc.unfreeze()
+
+    def best(kernel: str) -> ScaleFloodResult:
+        return max(
+            (one(kernel) for _ in range(repeats)),
+            key=lambda r: r.receptions_per_sec,
+        )
+
+    slotted = best("slotted")
+    vectorized = best("vectorized")
+    if slotted.receptions != vectorized.receptions:
+        raise SimulationError(
+            f"kernel parity violated: slotted kernel processed "
+            f"{slotted.receptions} receptions, vectorized {vectorized.receptions}"
+        )
+    return VectorizedMicrobenchResult(
+        nodes=nodes,
+        messages=messages,
+        receptions=slotted.receptions,
+        slotted_receptions_per_sec=slotted.receptions_per_sec,
+        vectorized_receptions_per_sec=vectorized.receptions_per_sec,
     )
 
 

@@ -40,7 +40,16 @@ from repro.experiments.robustness import (
     fig14_recovery,
     table1_churn,
 )
-from repro.experiments.scale import FAST, LARGE, PAPER, XL, XXL, Scale, get_scale
+from repro.experiments.scale import (
+    FAST,
+    LARGE,
+    PAPER,
+    XL,
+    XXL,
+    XXXL,
+    Scale,
+    get_scale,
+)
 from repro.experiments.scale_brisa import (
     BootstrapComparison,
     BrisaMicrobenchResult,
@@ -55,12 +64,14 @@ from repro.experiments.scale_flood import (
     OccupancyMicrobenchResult,
     ScaleFloodResult,
     SlottedMicrobenchResult,
+    VectorizedMicrobenchResult,
     build_static_flood_overlay,
     engine_microbench,
     multistream_microbench,
     occupancy_microbench,
     run_scale_flood,
     slotted_microbench,
+    vectorized_microbench,
 )
 from repro.experiments.scale_runner import (
     ScaleRunner,
@@ -102,8 +113,11 @@ __all__ = [
     "SlottedMicrobenchResult",
     "StreamOutcome",
     "slotted_microbench",
+    "VectorizedMicrobenchResult",
+    "vectorized_microbench",
     "XL",
     "XXL",
+    "XXXL",
     "StructureDistributions",
     "BrisaMicrobenchResult",
     "bootstrap_comparison",

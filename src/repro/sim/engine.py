@@ -19,6 +19,14 @@ Two scheduling tiers keep the hot path cheap (see DESIGN.md §1):
 
 :meth:`Simulator.run_until_idle` is the batched drain loop: no ``until``
 or ``max_events`` bookkeeping per event, locals bound outside the loop.
+
+:meth:`Simulator.register_batch_drain` opens the third tier (DESIGN.md
+§12): a callback registered for one fire-and-forget function claims
+whole contiguous runs of same-time events of that function in a single
+call, so a delivery kernel can process an entire arrival wave without
+one Python frame per event.  Each constituent event still counts exactly
+once toward ``max_events`` / ``events_processed``, and a budget break
+splits the run cleanly mid-batch.
 """
 
 from __future__ import annotations
@@ -70,6 +78,10 @@ class Simulator:
         #: Free list of pooled handles (high-water mark = peak in-flight
         #: fire-and-forget events; bounded, never trimmed).
         self._free: list[EventHandle] = []
+        #: fn -> drain callback for the batch-drain tier (see
+        #: :meth:`register_batch_drain`).  Empty in most runs — the run
+        #: loops then pay one falsy check per pooled event.
+        self._batch_drains: dict[Callable, Callable] = {}
         #: Largest heap size ever observed (peak scheduled backlog).
         self.peak_pending = 0
 
@@ -134,6 +146,66 @@ class Simulator:
         if len(heap) > self.peak_pending:
             self.peak_pending = len(heap)
 
+    def call_at_many(self, time: float, fn: Callable, argss: list[tuple]) -> None:
+        """Bulk :meth:`call_at`: one pooled ``fn(*args)`` event per entry
+        of ``argss``, all at ``time``, in list order (consecutive ``seq``
+        numbers, so FIFO order among them is the list order).  Exactly
+        equivalent to calling :meth:`call_at` once per entry; one frame
+        and one validation for a whole fan-out wave (DESIGN.md §12)."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time} before current time {self.now}"
+            )
+        free = self._free
+        heap = self._heap
+        seq = self._seq
+        push = heapq.heappush
+        pop = free.pop
+        for args in argss:
+            if free:
+                handle = pop()
+                handle.time = time
+                handle.fn = fn
+                handle.args = args
+            else:
+                handle = EventHandle(time, fn, args)
+                handle._pooled = True
+            seq += 1
+            push(heap, (time, seq, handle))
+        self._seq = seq
+        if len(heap) > self.peak_pending:
+            self.peak_pending = len(heap)
+
+    # ------------------------------------------------------------------
+    # Scheduling — batch-drain tier (whole same-arrival event runs)
+    # ------------------------------------------------------------------
+    def register_batch_drain(self, fn: Callable, drain: Callable) -> None:
+        """Route contiguous runs of pooled ``fn`` events through ``drain``.
+
+        When the run loops pop a fire-and-forget event whose function is
+        ``fn``, they claim every directly following heap entry with the
+        *same timestamp and the same function* (FIFO ``seq`` order keeps
+        the run contiguous at the heap top) and hand the whole run to
+        ``drain`` as one list of ``args`` tuples — one call per arrival
+        wave instead of one ``fn(*args)`` frame per event.
+
+        Exact-count contract: every claimed event counts once toward
+        ``max_events`` and :attr:`events_processed`, and a claim never
+        exceeds the remaining ``max_events`` budget — the surplus events
+        stay in the heap for the next ``run()``.  ``stop()`` takes
+        effect after the in-flight drain call returns, like any event.
+
+        Only fire-and-forget events (:meth:`call_later` / :meth:`call_at`)
+        participate: cancellable handles keep per-event dispatch.  The
+        fused fan-delivery path is the intended client (DESIGN.md §12).
+
+        Claims match ``fn`` by *identity* (``is``): register and
+        schedule one pinned callable — a bound method freshly minted per
+        ``obj.method`` access never merges into a run (see
+        ``Network.__init__``'s ``_deliver_fan`` pin).
+        """
+        self._batch_drains[fn] = drain
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
@@ -157,6 +229,7 @@ class Simulator:
         heap = self._heap
         pop = heapq.heappop
         free_append = self._free.append
+        drains = self._batch_drains
         try:
             while heap and not self._stopped:
                 time, _, handle = heap[0]
@@ -172,6 +245,31 @@ class Simulator:
                     handle.fn = None
                     handle.args = ()
                     free_append(handle)
+                    drain = drains.get(fn) if drains else None
+                    if drain is not None:
+                        batch = [args]
+                        # Claim the contiguous same-time run of this fn,
+                        # capped by the remaining max_events budget (the
+                        # event in hand already consumed one unit).
+                        budget = (
+                            max_events - processed if max_events is not None else None
+                        )
+                        while heap and (budget is None or len(batch) < budget):
+                            nxt = heap[0][2]
+                            if (
+                                heap[0][0] != time
+                                or not nxt._pooled
+                                or nxt.fn is not fn
+                            ):
+                                break
+                            pop(heap)
+                            batch.append(nxt.args)
+                            nxt.fn = None
+                            nxt.args = ()
+                            free_append(nxt)
+                        drain(batch)
+                        processed += len(batch)
+                        continue
                     fn(*args)
                     processed += 1
                     continue
@@ -204,6 +302,7 @@ class Simulator:
         heap = self._heap
         pop = heapq.heappop
         free_append = self._free.append
+        drains = self._batch_drains
         try:
             while heap:
                 if self._stopped:
@@ -211,12 +310,32 @@ class Simulator:
                 entry = pop(heap)
                 handle = entry[2]
                 if handle._pooled:
-                    self.now = entry[0]
+                    time = entry[0]
+                    self.now = time
                     fn = handle.fn
                     args = handle.args
                     handle.fn = None
                     handle.args = ()
                     free_append(handle)
+                    drain = drains.get(fn) if drains else None
+                    if drain is not None:
+                        batch = [args]
+                        while heap:
+                            nxt = heap[0][2]
+                            if (
+                                heap[0][0] != time
+                                or not nxt._pooled
+                                or nxt.fn is not fn
+                            ):
+                                break
+                            pop(heap)
+                            batch.append(nxt.args)
+                            nxt.fn = None
+                            nxt.args = ()
+                            free_append(nxt)
+                        drain(batch)
+                        processed += len(batch)
+                        continue
                     fn(*args)
                     processed += 1
                     continue

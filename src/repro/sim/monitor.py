@@ -258,6 +258,20 @@ class Metrics:
         self.bytes_sent[node][phase] += nbytes * count
         self.msg_counts[kind][phase] += count
 
+    def account_fan_sends(self, kind: str, fans: list[tuple]) -> None:
+        """Batched :meth:`account_send_many` over one wave of fan-outs:
+        ``fans`` holds ``(src, dsts, msg, size)`` entries of one message
+        ``kind`` (same totals as one call per entry, one dict walk per
+        distinct sender and one per wave for the kind counter)."""
+        phase = self.phase
+        bytes_sent = self.bytes_sent
+        total = 0
+        for src, dsts, _msg, size in fans:
+            n = len(dsts)
+            total += n
+            bytes_sent[src][phase] += size * n
+        self.msg_counts[kind][phase] += total
+
     def account_receive(self, node: NodeId, nbytes: int) -> None:
         self.bytes_received[node][self.phase] += nbytes
 

@@ -103,6 +103,21 @@ class Network:
         #: ``handle_message`` per receiver.  Empty unless a slotted
         #: kernel registered one; the fused path pays one falsy check.
         self._fan_sinks: dict[str, Callable[[NodeId, list[NodeId], Message, int], None]] = {}
+        #: Batch fan sinks by message kind (DESIGN.md §12): a kernel that
+        #: can execute *many* same-arrival fan-outs in one call registers
+        #: one here, and the network claims whole contiguous
+        #: ``_deliver_fan`` runs from the engine's batch-drain tier.
+        self._batch_fan_sinks: dict[str, Callable[[list[tuple]], None]] = {}
+        #: The engine-side drain is registered at most once, on the first
+        #: batch sink — runs without one keep the two-tier run loops.
+        self._fan_drain_registered = False
+        # Pin ONE bound-method object for the fused fan event function:
+        # attribute access would otherwise mint a fresh bound method per
+        # send, and the engine's batch-drain claim loop matches events
+        # by function identity (`is`).  The instance attribute shadows
+        # the class method, so every later ``self._deliver_fan`` — send
+        # paths and drain registration alike — resolves to this object.
+        self._deliver_fan = self._deliver_fan
         #: Messages between one ordered pair ride one TCP connection, so
         #: delivery must be FIFO.  Models with per-message sampled jitter
         #: can invert two sends otherwise — e.g. a Deactivate overtaken by
@@ -554,10 +569,27 @@ class Network:
         )
         self.metrics.account_send_many(src, msg.kind, size, len(dsts))
 
+    def send_fan_batch_unchecked(self, fans: list[tuple], kind: str) -> None:
+        """Bulk :meth:`send_fan_unchecked`: schedule one fused fan event
+        per ``(src, dsts, msg, size)`` entry of ``fans`` — all of one
+        message ``kind``, all arriving together — in list order, with one
+        batched accounting pass.  Exactly equivalent to calling
+        :meth:`send_fan_unchecked` once per entry (same heap state, same
+        Metrics totals); one frame per dissemination wave instead of one
+        per forwarder (the vectorized kernel's forward path, DESIGN.md
+        §12)."""
+        sim = self.sim
+        sim.call_at_many(
+            sim.now + self.latency.uniform_delay, self._deliver_fan, fans
+        )
+        self.metrics.account_fan_sends(kind, fans)
+
     def register_fan_sink(
         self,
         kind: str,
         sink: Callable[[NodeId, list[NodeId], Message, int], None],
+        *,
+        batch_sink: Callable[[list[tuple]], None] | None = None,
     ) -> None:
         """Route whole fused fan-outs of one message kind to ``sink``.
 
@@ -570,8 +602,22 @@ class Network:
         run's receive bookkeeping stays consistent per latency model.
         Used by the slotted flood kernel (DESIGN.md §9) to process a
         fan-out's receptions against flat arrays with locals bound once.
+
+        ``batch_sink`` additionally subscribes the kind to the engine's
+        batch-drain tier (DESIGN.md §12): whole contiguous same-arrival
+        runs of fused fan events are claimed in one engine call and
+        handed to it as a list of ``(src, dsts, msg, size)`` tuples in
+        heap FIFO order — the vectorized kernel's entry point.  Kinds
+        without a batch sink in such a run fall back to their per-event
+        ``sink``/per-node semantics unchanged, so registering one kernel
+        never alters another kind's behaviour.
         """
         self._fan_sinks[kind] = sink
+        if batch_sink is not None:
+            self._batch_fan_sinks[kind] = batch_sink
+            if not self._fan_drain_registered:
+                self._fan_drain_registered = True
+                self.sim.register_batch_drain(self._deliver_fan, self._drain_fan_batch)
 
     def register_kernel(self, kernel) -> None:
         """Attach a slotted kernel's lifecycle to this network.
@@ -600,6 +646,32 @@ class Network:
                 continue
             account(dst, size)
             node.handle_message(src, msg)
+
+    def _drain_fan_batch(self, batch: list[tuple]) -> None:
+        """Engine batch drain for fused fan events (DESIGN.md §12).
+
+        ``batch`` is a contiguous same-time run of ``_deliver_fan`` args
+        tuples in heap FIFO order.  Contiguous sub-runs whose message
+        kind has a batch sink go to it whole; every other event keeps
+        the exact per-event :meth:`_deliver_fan` dispatch, so membership
+        traffic and foreign kinds are untouched by the batching.
+        """
+        sinks = self._batch_fan_sinks
+        deliver = self._deliver_fan
+        i = 0
+        n = len(batch)
+        while i < n:
+            kind = batch[i][2].kind
+            bsink = sinks.get(kind)
+            if bsink is None:
+                deliver(*batch[i])
+                i += 1
+                continue
+            j = i + 1
+            while j < n and batch[j][2].kind == kind:
+                j += 1
+            bsink(batch[i:j])
+            i = j
 
     def _deliver_occ_fan(self, src: NodeId, dsts: list[NodeId], msg: Message, size: int) -> None:
         """One event delivering a same-arrival occupancy fan-out: the

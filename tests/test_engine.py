@@ -413,3 +413,156 @@ class TestPeriodicTask:
         task.start()
         sim.run(until=15.5)
         assert ticks == [15.0]
+
+
+class TestBatchDrain:
+    """The batch-drain tier (DESIGN.md §12): contiguous same-time runs
+    of one pooled function are claimed off the heap top and handed to a
+    registered drain as a single list of args tuples."""
+
+    @staticmethod
+    def _sim_with_drain(batches):
+        sim = Simulator()
+        fn = batches and None  # placeholder for clarity; fn defined below
+
+        def deliver(tag):  # the pooled event function
+            raise AssertionError(f"per-event dispatch for {tag}")
+
+        sim.register_batch_drain(deliver, batches.append)
+        return sim, deliver
+
+    def test_same_time_run_arrives_as_one_batch(self):
+        batches = []
+        sim, deliver = self._sim_with_drain(batches)
+        for i in range(4):
+            sim.call_at(1.0, deliver, i)
+        sim.call_at(2.0, deliver, 99)
+        assert sim.run() == 5
+        assert batches == [[(0,), (1,), (2,), (3,)], [(99,)]]
+        assert sim.events_processed == 5
+
+    def test_claim_breaks_on_other_functions_and_times(self):
+        order = []
+        sim = Simulator()
+        # Claims match by identity: pin the bound method once (a fresh
+        # `order.append` per call would never merge into a run).
+        fn = order.append
+        sim.register_batch_drain(
+            fn, lambda batch: order.append(("batch", len(batch)))
+        )
+        other = lambda: order.append("other")  # noqa: E731
+        sim.call_at(1.0, fn)
+        sim.call_at(1.0, fn)
+        sim.call_at(1.0, other)  # same time, different fn: breaks the run
+        sim.call_at(1.0, fn)     # claimed as a fresh batch
+        sim.run_until_idle()
+        assert order == [("batch", 2), "other", ("batch", 1)]
+
+    def test_cancellable_handles_keep_per_event_dispatch(self):
+        hits = []
+        sim = Simulator()
+        fn = hits.append
+        sim.register_batch_drain(fn, lambda batch: hits.append(("batch", len(batch))))
+        sim.call_at(1.0, fn, "pooled")
+        sim.schedule_at(1.0, fn, "handle")   # cancellable: never claimed
+        sim.call_at(1.0, fn, "pooled2")
+        sim.run()
+        # The handle event splits the run: batches of 1 around it.
+        assert hits == [("batch", 1), "handle", ("batch", 1)]
+
+    def test_max_events_counts_each_constituent_once(self):
+        batches = []
+        sim, deliver = self._sim_with_drain(batches)
+        for i in range(6):
+            sim.call_at(1.0, deliver, i)
+        # Budget of 4 stops mid-wave: the claim is capped, the surplus
+        # two events stay queued for the next run().
+        assert sim.run(max_events=4) == 4
+        assert batches == [[(0,), (1,), (2,), (3,)]]
+        assert sim.events_processed == 4
+        assert sim.run(max_events=10) == 2
+        assert batches == [[(0,), (1,), (2,), (3,)], [(4,), (5,)]]
+        assert sim.events_processed == 6
+
+    def test_max_events_boundary_exactly_at_wave_edge(self):
+        batches = []
+        sim, deliver = self._sim_with_drain(batches)
+        for i in range(3):
+            sim.call_at(1.0, deliver, i)
+        sim.call_at(2.0, deliver, 9)
+        # Budget equals the first wave: the 2.0 wave must NOT start.
+        assert sim.run(max_events=3) == 3
+        assert batches == [[(0,), (1,), (2,)]]
+        assert sim.now == 1.0
+        assert sim.run() == 1
+        assert batches[-1] == [(9,)]
+        assert sim.now == 2.0
+
+    def test_stop_inside_drain_halts_after_batch(self):
+        sim = Simulator()
+        seen = []
+
+        def fn():
+            raise AssertionError("unreachable")
+
+        def drain(batch):
+            seen.append(len(batch))
+            sim.stop()
+
+        sim.register_batch_drain(fn, drain)
+        for _ in range(3):
+            sim.call_at(1.0, fn)
+        sim.call_at(2.0, fn)
+        # stop() lands after the in-flight batch, like any event.
+        assert sim.run_until_idle() == 3
+        assert seen == [1] or seen == [3]
+        # The 1.0 wave is one claim: all three counted, 2.0 still queued.
+        assert seen == [3]
+        assert sim.next_event_time() == 2.0
+
+    def test_drain_scheduling_more_work_keeps_draining(self):
+        """A drain that schedules the next wave (the fan-out pattern)."""
+        sim = Simulator()
+        waves = []
+
+        def fn(x):
+            raise AssertionError("unreachable")
+
+        def drain(batch):
+            waves.append([a[0] for a in batch])
+            if len(waves) < 3:
+                sim.call_at_many(
+                    sim.now + 1.0, fn, [(x * 10,) for a in batch for x in a]
+                )
+
+        sim.register_batch_drain(fn, drain)
+        sim.call_at_many(0.5, fn, [(1,), (2,)])
+        assert sim.run_until_idle() == 6
+        assert waves == [[1, 2], [10, 20], [100, 200]]
+        assert sim.now == 2.5
+
+    def test_call_at_many_matches_repeated_call_at(self):
+        """call_at_many is exactly N call_at calls: same FIFO order,
+        same pooling, same peak_pending accounting."""
+        runs = []
+        for bulk in (False, True):
+            sim = Simulator()
+            order = []
+            fn = order.append
+            if bulk:
+                sim.call_at_many(1.0, fn, [(i,) for i in range(5)])
+            else:
+                for i in range(5):
+                    sim.call_at(1.0, fn, i)
+            sim.run()
+            runs.append((order, sim.events_processed, sim.peak_pending,
+                         sim.pool_size))
+        assert runs[0] == runs[1]
+        assert runs[0][0] == list(range(5))
+
+    def test_call_at_many_in_past_rejected(self):
+        sim = Simulator()
+        sim.call_at(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.call_at_many(0.5, lambda: None, [()])

@@ -243,9 +243,173 @@ def test_slotted_source_echo_matches_object_semantics():
 
 def test_unknown_kernel_rejected():
     with pytest.raises(ValueError):
-        build_static_flood_overlay(16, kernel="vectorized")
+        build_static_flood_overlay(16, kernel="compiled")
     with pytest.raises(ValueError):
         run_scale_flood(16, 1, kernel="bogus")
+
+
+# ======================================================================
+# Vectorized flood kernel (DESIGN.md §12)
+# ======================================================================
+#
+# The vectorized kernel consumes whole waves through the engine's
+# batch-drain tier and executes them as masked numpy array ops; its
+# contract is the same draw-for-draw equivalence the slotted kernel
+# pins against the object path.  One telemetry field is legitimately
+# different and therefore excluded: ``peak_pending`` — batch claiming
+# pops a wave's events off the heap before scheduling its forwards, so
+# the heap's high-water mark is lower than under per-event dispatch.
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - CI always installs numpy
+    _np = None
+
+requires_numpy = pytest.mark.skipif(
+    _np is None, reason="the vectorized kernel needs numpy"
+)
+
+#: Scalar-result fields every kernel must agree on (peak_pending is
+#: telemetry of the dispatch mechanics, see above).
+VECTOR_PARITY_FIELDS = (
+    "deliveries", "receptions", "events", "sim_time", "delivered_fraction",
+    "kills", "joins", "survivors",
+)
+
+
+@requires_numpy
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(
+    n=st.integers(min_value=16, max_value=512),
+    messages=st.integers(min_value=1, max_value=3),
+    seed=st.integers(min_value=0, max_value=2**20),
+    latency_kind=st.sampled_from(sorted(LATENCIES)),
+)
+@example(n=16, messages=1, seed=0, latency_kind="zero-cost")
+@example(n=512, messages=3, seed=1, latency_kind="zero-cost")
+@example(n=512, messages=3, seed=1, latency_kind="occupancy")
+@example(n=257, messages=2, seed=99, latency_kind="occupancy")
+def test_vectorized_kernel_matches_object_kernel(n, messages, seed, latency_kind):
+    """Batched wave execution must reproduce the object path record for
+    record: delivery tuples (time, sender, hops, path delay), duplicate
+    counts, byte totals and engine schedules — under the fused zero-cost
+    path (batch drains engaged) and under occupancy charging (scalar
+    on_data fallback on the numpy storage)."""
+    sim_o, net_o, nodes_o = flood_run("object", n, messages, seed, latency_kind)
+    sim_v, net_v, nodes_v = flood_run("vectorized", n, messages, seed, latency_kind)
+    assert snapshot(sim_o, net_o, nodes_o) == snapshot(sim_v, net_v, nodes_v)
+    assert_kernel_arrays_match_metrics(net_v, nodes_v, latency_kind)
+
+
+@requires_numpy
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(
+    n=st.integers(min_value=16, max_value=256),
+    messages=st.integers(min_value=1, max_value=3),
+    streams=st.integers(min_value=2, max_value=4),
+    seed=st.integers(min_value=0, max_value=2**20),
+    latency_kind=st.sampled_from(sorted(LATENCIES)),
+)
+@example(n=64, messages=2, streams=4, seed=0, latency_kind="zero-cost")
+@example(n=256, messages=3, streams=3, seed=7, latency_kind="occupancy")
+def test_vectorized_multistream_parity(n, messages, streams, seed, latency_kind):
+    """Coinciding waves of different streams merge into multi-group
+    batches; the per-group split must keep every stream's plane and
+    Metrics shard identical to the object run."""
+    sim_o, net_o, nodes_o = flood_run(
+        "object", n, messages, seed, latency_kind, streams=streams
+    )
+    sim_v, net_v, nodes_v = flood_run(
+        "vectorized", n, messages, seed, latency_kind, streams=streams
+    )
+    assert len(net_o.metrics.streams) == streams
+    assert snapshot(sim_o, net_o, nodes_o) == snapshot(sim_v, net_v, nodes_v)
+    assert_kernel_arrays_match_metrics(net_v, nodes_v, latency_kind)
+    kernel = nodes_v[0].kernel
+    assert set(kernel.plane_of) == set(net_v.metrics.streams)
+    for stream, shard in net_o.metrics.streams.items():
+        plane = kernel.plane(stream)
+        assert int(plane.duplicates.sum()) == shard.duplicate_receptions
+
+
+@requires_numpy
+@settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    n=st.integers(min_value=64, max_value=256),
+    churn=st.floats(min_value=1.0, max_value=12.0),
+    seed=st.integers(min_value=0, max_value=2**20),
+)
+@example(n=256, churn=8.0, seed=11)
+def test_vectorized_kernel_agrees_under_churn(n, churn, seed):
+    """Churn exercises slot release into the numpy planes, _slot_map
+    invalidation (dead destinations fall back in flat order, so the
+    failure-notice RNG draws line up), row-mirror invalidation and CSR
+    staleness — the three kernels must still walk the same simulation."""
+    results = [
+        run_scale_flood(n, 8, seed=seed, kernel=kernel, churn_percent=churn)
+        for kernel in ("object", "vectorized")
+    ]
+    a, b = (r.to_dict() for r in results)
+    for field in VECTOR_PARITY_FIELDS:
+        assert a[field] == b[field], field
+
+
+@requires_numpy
+def test_vectorized_kernel_agrees_under_multistream_churn():
+    results = [
+        run_scale_flood(192, 6, seed=9, kernel=kernel, churn_percent=6.0, streams=3)
+        for kernel in ("slotted", "vectorized")
+    ]
+    a, b = (r.to_dict() for r in results)
+    for field in VECTOR_PARITY_FIELDS + ("per_stream",):
+        assert a[field] == b[field], field
+    assert results[1].kills > 0
+
+
+@requires_numpy
+def test_vectorized_source_echo_matches_object_semantics():
+    """The delayed source-echo corner (first delivery recorded, no
+    re-flood) through the batch path's first-occurrence masks: a first
+    ``_INJECTED`` cell is an echo, not a delivery and not a duplicate."""
+    from repro.baselines.flood import FloodData
+
+    runs = {}
+    for kernel in ("object", "vectorized"):
+        sim, net, nodes = flood_run(kernel, 16, 1, 3, "zero-cost")
+        source = nodes[0]
+        echoer = next(iter(source.active))
+        events_before = sim.events_processed
+        net.send(echoer, source.node_id,
+                 FloodData(0, 0, 64, hops=3, path_delay=0.01, sent_at=sim.now))
+        sim.run_until_idle()
+        runs[kernel] = (sim, net, nodes, sim.events_processed - events_before)
+
+    for kernel, (sim, net, nodes, events) in runs.items():
+        source = nodes[0]
+        assert source.delivered_count(0) == 1, kernel
+        assert net.metrics.duplicates.get(source.node_id, 0) == 0, kernel
+        assert events == 1, kernel
+    assert snapshot(*runs["object"][:3]) == snapshot(*runs["vectorized"][:3])
+
+
+def test_vectorized_kernel_without_numpy_is_a_clear_error(monkeypatch):
+    """numpy is optional: importing the module works without it, while
+    constructing the kernel names the missing dependency and the
+    fallback."""
+    import repro.core.flood_vectorized as fv
+    from repro.errors import SimulationError
+
+    monkeypatch.setattr(fv, "np", None)
+    with pytest.raises(SimulationError, match="numpy"):
+        build_static_flood_overlay(16, kernel="vectorized")
 
 
 # ======================================================================
