@@ -83,6 +83,7 @@ def test_scale_brisa_10k(emit):
     assert boot.speedup >= gate, boot.summary()
 
 
+@pytest.mark.xl
 def test_scale_brisa_multistream_xl(emit):
     """The §IV acceptance run (DESIGN.md §10): 8 publishers over one
     10k overlay emerge 8 independent complete/acyclic trees with 100%
@@ -113,6 +114,7 @@ def test_scale_brisa_multistream_xl(emit):
     assert rs["interior_all"] <= min(rs["interior_per_stream"].values())
 
 
+@pytest.mark.xl
 def test_slotted_brisa_kernel_xl(emit):
     """The slotted BRISA kernel gate (DESIGN.md §11): flat-array tree
     state + packed Bloom rows must clear 2x the object kernel's
@@ -146,6 +148,7 @@ def test_slotted_brisa_kernel_xl(emit):
     not os.environ.get("REPRO_XXL"),
     reason="100k rung runs nightly / on demand (set REPRO_XXL=1)",
 )
+@pytest.mark.xxl
 def test_scale_brisa_xxl_slotted_100k(emit):
     """The 100k rung on the slotted BRISA kernel: the throughput lever
     must preserve the deterministic outcomes (full delivery, complete
@@ -172,6 +175,7 @@ def test_scale_brisa_xxl_slotted_100k(emit):
     not os.environ.get("REPRO_XXL"),
     reason="100k rung runs nightly / on demand (set REPRO_XXL=1)",
 )
+@pytest.mark.xxl
 def test_scale_brisa_xxl_100k(emit):
     """The 100k rung for the full BRISA stack: membership + emergence
     over an array-backed synthesized overlay."""

@@ -96,6 +96,7 @@ def test_scale_flood_10k(benchmark, emit):
     assert result.handle_pool_size > 0
 
 
+@pytest.mark.xl
 def test_slotted_kernel_xl(emit):
     """The slotted-kernel gate (DESIGN.md §9): flat-array delivery state
     must clear 2x the object kernel's per-delivery throughput on the xl
@@ -118,6 +119,7 @@ def test_slotted_kernel_xl(emit):
     assert mb.receptions > 0
 
 
+@pytest.mark.xl
 def test_vectorized_kernel_xl(emit):
     """The vectorized-kernel gate (DESIGN.md §12): numpy batch-drain
     delivery must clear 3x the slotted kernel's per-reception throughput
@@ -143,6 +145,7 @@ def test_vectorized_kernel_xl(emit):
     assert mb.receptions > 0
 
 
+@pytest.mark.xl
 def test_multistream_xl(emit):
     """Multi-stream at scale (DESIGN.md §10): 8 concurrent publishers
     over the xl slotted overlay must deliver every stream fully, and the
@@ -176,6 +179,7 @@ def test_multistream_xl(emit):
     assert mb.efficiency >= gate, mb.summary()
 
 
+@pytest.mark.xl
 def test_scale_flood_churn_xl(emit):
     """Churn at scale (DESIGN.md §9): the xl flood run loses 1% of its
     population mid-stream and must still deliver >=99% of the stream to
@@ -211,6 +215,7 @@ def test_scale_flood_churn_xl(emit):
     not os.environ.get("REPRO_XXL"),
     reason="100k rung runs nightly / on demand (set REPRO_XXL=1)",
 )
+@pytest.mark.xxl
 def test_scale_flood_xxl_100k(emit):
     """The 100k rung: array-backed bootstrap + fused delivery end to end."""
     result = run_scale_flood(XXL.cluster_nodes, XXL.messages, rate=20.0, seed=3)
@@ -230,6 +235,7 @@ def test_scale_flood_xxl_100k(emit):
     not os.environ.get("REPRO_XXL"),
     reason="100k rung runs nightly / on demand (set REPRO_XXL=1)",
 )
+@pytest.mark.xxl
 def test_scale_flood_xxl_slotted_churn(emit):
     """The 100k rung on the slotted kernel, with 1% churn mid-stream:
     slot recycling and CSR-link purging at full scale (DESIGN.md §9)."""
@@ -253,6 +259,7 @@ def test_scale_flood_xxl_slotted_churn(emit):
     not os.environ.get("REPRO_XXXL"),
     reason="1M rung runs nightly / on demand (set REPRO_XXXL=1)",
 )
+@pytest.mark.xxxl
 def test_scale_flood_xxxl_1m(emit):
     """The 1M rung (DESIGN.md §12): CSR bootstrap + vectorized batch
     drains end to end — only the numpy kernel makes this population

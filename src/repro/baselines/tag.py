@@ -41,7 +41,7 @@ from repro.config import TagConfig
 from repro.ids import NODE_ID_BYTES, SEQ_BYTES, NodeId, StreamId
 from repro.sim.message import Message
 from repro.sim.node import ProtocolNode
-from repro.sim.transport import Transport
+from repro.sim.transport import TransientConnCost
 
 STREAM_BYTES = 2
 MEASURE_BYTES = 8
@@ -206,7 +206,7 @@ class TagNode(ProtocolNode):
         super().__init__(network, node_id)
         self.config = config if config is not None else TagConfig()
         self.tracker = tracker
-        self.transport = Transport(network, node_id, self.config.connection_setup_rtts)
+        self.conn_cost = TransientConnCost(network, node_id, self.config.connection_setup_rtts)
 
         # Linked list state (2-hop horizon in both directions).
         self.pred: Optional[NodeId] = None
@@ -264,7 +264,7 @@ class TagNode(ProtocolNode):
             self.joined = True
             self.settled_at = self.sim.now
             return  # first node: list head and tree root
-        self.transport.connect(
+        self.conn_cost.connect(
             prev_tail,
             on_ready=lambda: self.send(prev_tail, ListAppend()),
             on_fail=lambda: self._retry_join(),
@@ -277,7 +277,7 @@ class TagNode(ProtocolNode):
                 self.joined = True
                 self.settled_at = self.sim.now
                 return
-            self.transport.connect(
+            self.conn_cost.connect(
                 tail,
                 on_ready=lambda: self.send(tail, ListAppend()),
                 on_fail=lambda: self._retry_join(),
@@ -308,7 +308,7 @@ class TagNode(ProtocolNode):
     def _traverse(self, target: NodeId) -> None:
         """One backwards traversal hop: fresh connection + probe."""
         self._traversal_target = target
-        self.transport.connect(
+        self.conn_cost.connect(
             target,
             on_ready=lambda: self.send(target, ListProbe()),
             on_fail=lambda: self._traverse_failed(target),
@@ -347,7 +347,7 @@ class TagNode(ProtocolNode):
         ):
             self.partners.append(src)
         if msg.has_capacity:
-            self.transport.connect(
+            self.conn_cost.connect(
                 src,
                 on_ready=lambda: self.send(src, TreeAttach()),
                 on_fail=lambda: self._traverse_failed(src),
@@ -359,7 +359,7 @@ class TagNode(ProtocolNode):
             self._traverse(msg.pred2)
         else:
             # Reached the list head without capacity: attach to the head.
-            self.transport.connect(
+            self.conn_cost.connect(
                 src,
                 on_ready=lambda: self.send(src, TreeAttach()),
                 on_fail=lambda: self._retry_join(),
@@ -497,7 +497,7 @@ class TagNode(ProtocolNode):
             if not live:
                 return
             tail = live[-1]
-        self.transport.connect(
+        self.conn_cost.connect(
             tail,
             on_ready=lambda: self.send(tail, ListAppend()),
             on_fail=lambda: self._reinsert(repair_metric),

@@ -13,6 +13,10 @@ Commands mirror the per-experiment index of DESIGN.md §4::
     python -m repro scale --stack brisa --size xl --streams 8        # §IV multi-stream
     python -m repro scale --size xxxl --kernel vectorized --messages 10 \
         --no-microbench                                              # 1M-node rung
+    python -m repro live --size small            # BRISA over real UDP sockets:
+                                                 # 64 nodes across 2 OS processes,
+                                                 # cross-checked vs same-seed sim
+    python -m repro live --size small --workers 4 --streams 2 --json live.json
 """
 
 from __future__ import annotations
@@ -133,6 +137,30 @@ EXPERIMENTS: dict[str, tuple[str, Callable]] = {
 }
 
 
+def _add_workload_args(cmd, *, default_size: str, default_messages: int) -> None:
+    """Workload flags shared by ``repro scale`` and ``repro live`` — one
+    definition, so the two commands cannot drift apart (they feed the
+    same :class:`~repro.experiments.scale_runner.RunSpec`)."""
+    cmd.add_argument("--scale", "--size", dest="scale", default=default_size,
+                     help="tiny | small | fast | paper | large | xl | xxl | xxxl")
+    cmd.add_argument("--nodes", type=int, default=None,
+                     help="override the population (default: scale's cluster_nodes)")
+    cmd.add_argument("--messages", type=int, default=default_messages,
+                     help=f"stream length (default {default_messages})")
+    cmd.add_argument("--rate", type=float, default=20.0, help="injection rate (msgs/s)")
+    cmd.add_argument("--mode", choices=["tree", "dag"], default=None,
+                     help="BRISA structure mode (brisa stack only; default tree)")
+    cmd.add_argument("--streams", type=int, default=1, metavar="K",
+                     help="concurrent publishers, spread over the population, "
+                          "each driving its own stream id (default 1; "
+                          "DESIGN.md §10)")
+    cmd.add_argument("--seed", type=int, default=1)
+    cmd.add_argument("--json", dest="json_path", default=None, metavar="FILE",
+                     help="also write the results as JSON (merge-write: "
+                          "existing entries in FILE from other runs are "
+                          "preserved)")
+
+
 def make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="BRISA reproduction (IPDPS 2012)"
@@ -142,25 +170,17 @@ def make_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="run one artifact (or 'all')")
     run.add_argument("experiment", choices=[*EXPERIMENTS, "all"])
     run.add_argument("--scale", default=None,
-                     help="tiny | fast | paper | large | xl | xxl | xxxl")
+                     help="tiny | small | fast | paper | large | xl | xxl | xxxl")
     sub.add_parser("quickstart", help="run the README quickstart")
     sc_cmd = sub.add_parser(
         "scale", help="large-scale dissemination benchmark (see DESIGN.md §6–7)"
     )
-    sc_cmd.add_argument("--scale", "--size", dest="scale", default="large",
-                        help="tiny | fast | paper | large | xl | xxl | xxxl")
+    _add_workload_args(sc_cmd, default_size="large", default_messages=20)
     sc_cmd.add_argument("--stack", choices=["flood", "brisa"], default="flood",
                         help="protocol stack: flood baseline or the full BRISA stack")
-    sc_cmd.add_argument("--nodes", type=int, default=None,
-                        help="override the population (default: scale's cluster_nodes)")
-    sc_cmd.add_argument("--messages", type=int, default=20,
-                        help="stream length (default 20)")
     sc_cmd.add_argument("--degree", type=int, default=None,
                         help="overlay degree (default: 5 for flood, settled-ramp "
                              "degree for brisa)")
-    sc_cmd.add_argument("--rate", type=float, default=20.0, help="injection rate (msgs/s)")
-    sc_cmd.add_argument("--mode", choices=["tree", "dag"], default=None,
-                        help="BRISA structure mode (brisa stack only; default tree)")
     sc_cmd.add_argument("--bootstrap", default=None, metavar="KIND",
                         help="brisa stack only: synthesized (default) | simulated | "
                              "path to an overlay checkpoint")
@@ -174,66 +194,52 @@ def make_parser() -> argparse.ArgumentParser:
                         help="flood stack only: kill PCT%% of the population at "
                              "random instants during the stream (sources protected) "
                              "and join as many fresh nodes")
-    sc_cmd.add_argument("--streams", type=int, default=1, metavar="K",
-                        help="concurrent publishers, spread over the population, "
-                             "each driving its own stream id (default 1; "
-                             "DESIGN.md §10)")
-    sc_cmd.add_argument("--seed", type=int, default=1)
-    sc_cmd.add_argument("--json", dest="json_path", default=None, metavar="FILE",
-                        help="also write the results as JSON (merge-write: "
-                             "existing entries in FILE from other runs are "
-                             "preserved)")
     sc_cmd.add_argument("--no-microbench", action="store_true",
                         help="skip the engine and occupancy microbenchmarks")
+    live_cmd = sub.add_parser(
+        "live",
+        help="BRISA over real asyncio UDP sockets across worker processes "
+             "(DESIGN.md §13), e.g.: repro live --size small",
+        description="Run the BRISA stack live: N worker OS processes on "
+                    "localhost, one UDP socket each, dissemination over "
+                    "real datagrams, cross-checked against a same-seed "
+                    "simulated run.  Example: repro live --size small",
+    )
+    _add_workload_args(live_cmd, default_size="small", default_messages=10)
+    live_cmd.add_argument("--workers", type=int, default=2, metavar="N",
+                          help="worker OS processes hosting the nodes (default 2)")
+    live_cmd.add_argument("--payload", type=int, default=256, metavar="BYTES",
+                          dest="payload_bytes",
+                          help="payload bytes per message (default 256)")
+    live_cmd.add_argument("--timeout", type=float, default=60.0,
+                          help="coordinator deadline in seconds before workers "
+                               "are terminated (default 60)")
+    live_cmd.add_argument("--checkpoint", default=None, metavar="FILE",
+                          help="overlay checkpoint to restore (default: "
+                               "synthesize one for this seed)")
+    live_cmd.add_argument("--no-cross-check", action="store_true",
+                          help="skip the same-seed simulated leg")
     return parser
 
 
 def _run_scale(args) -> int:
-    if args.stack != "brisa":
-        # A forgotten --stack brisa must not silently benchmark the flood
-        # stack while ignoring the BRISA-only knobs the user set.
-        for flag, value in (("--mode", args.mode), ("--bootstrap", args.bootstrap)):
-            if value is not None:
-                print(
-                    f"error: {flag} applies to the brisa stack only "
-                    f"(add --stack brisa)",
-                    file=sys.stderr,
-                )
-                return 2
-    else:
-        # Symmetrically, the remaining flood-only knob must not be
-        # silently ignored (--kernel works on both stacks since the
-        # slotted BRISA kernel landed, DESIGN.md §11).
-        if args.churn is not None:
-            print(
-                "error: --churn applies to the flood stack only "
-                "(BRISA churn runs through the repair scenarios)",
-                file=sys.stderr,
-            )
-            return 2
+    spec = sc.RunSpec(
+        stack=args.stack,
+        size=args.scale,
+        nodes=args.nodes,
+        messages=args.messages,
+        rate=args.rate,
+        seed=args.seed,
+        streams=args.streams,
+        kernel=args.kernel,
+        degree=args.degree,
+        mode=args.mode,
+        bootstrap=args.bootstrap,
+        churn_percent=args.churn,
+    )
     try:
-        scale = sc.get_scale(args.scale)
-        nodes = args.nodes if args.nodes is not None else scale.cluster_nodes
-        if args.stack == "brisa":
-            result = sc.run_scale_brisa(
-                nodes, args.messages,
-                mode=args.mode if args.mode is not None else "tree",
-                degree=args.degree,
-                rate=args.rate, seed=args.seed,
-                bootstrap=args.bootstrap if args.bootstrap is not None else "synthesized",
-                join_spacing=scale.join_spacing, settle=scale.settle,
-                streams=args.streams,
-                kernel=args.kernel if args.kernel is not None else "object",
-            )
-        else:
-            result = sc.run_scale_flood(
-                nodes, args.messages,
-                degree=args.degree if args.degree is not None else 5,
-                rate=args.rate, seed=args.seed,
-                kernel=args.kernel if args.kernel is not None else "object",
-                churn_percent=args.churn if args.churn is not None else 0.0,
-                streams=args.streams,
-            )
+        result = sc.run_spec(spec)
+        nodes = spec.population(sc.get_scale(spec.size))
     except (ValueError, SimulationError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -258,6 +264,55 @@ def _run_scale(args) -> int:
     return 0
 
 
+def _run_live(args) -> int:
+    from repro.experiments.live_runner import LiveSpec, run_live
+
+    # The same RunSpec plumbing as `repro scale` resolves the shared
+    # workload flags (size/nodes/messages/rate/streams/seed/mode); the
+    # live stack is always BRISA.
+    spec = sc.RunSpec(
+        stack="brisa",
+        size=args.scale,
+        nodes=args.nodes,
+        messages=args.messages,
+        rate=args.rate,
+        seed=args.seed,
+        streams=args.streams,
+        mode=args.mode,
+    )
+    try:
+        spec.validate()
+        nodes = spec.population(sc.get_scale(spec.size))
+        live = LiveSpec(
+            nodes=nodes,
+            workers=args.workers,
+            messages=spec.messages,
+            streams=spec.streams,
+            rate=spec.rate,
+            payload_bytes=args.payload_bytes,
+            seed=spec.seed,
+            mode=spec.mode if spec.mode is not None else "tree",
+            timeout=args.timeout,
+            checkpoint=args.checkpoint,
+            cross_check=not args.no_cross_check,
+        )
+        outcome = run_live(live, json_path=args.json_path)
+    except (ValueError, SimulationError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(rp.banner(f"Live brisa — {nodes} nodes x {args.workers} workers ({args.scale})"))
+    print(outcome.summary())
+    if args.json_path:
+        print(f"\nwrote {args.json_path}")
+    ok = (
+        outcome.delivered_fraction == 1.0
+        and outcome.all_structures_ok
+        and outcome.clean_shutdown
+        and outcome.cross_check_ok is not False
+    )
+    return 0 if ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     args = make_parser().parse_args(argv)
     if args.command == "list":
@@ -271,6 +326,8 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.command == "scale":
         return _run_scale(args)
+    if args.command == "live":
+        return _run_live(args)
     scale = sc.get_scale(args.scale)
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:

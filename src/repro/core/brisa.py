@@ -158,7 +158,7 @@ class BrisaNode(HyParViewNode):
         if not state.is_source:
             self.become_source(stream)
             state = self.stream_state(stream)
-        self.network.metrics.record_injection(stream, seq, self.sim.now)
+        self.transport.metrics.record_injection(stream, seq, self.clock.now)
         state.note_delivered(seq)
         state.buffer.store(seq, payload_bytes)
         self._forward(state, seq, payload_bytes, exclude=None, hops=0, path_delay=0.0)
@@ -182,7 +182,7 @@ class BrisaNode(HyParViewNode):
             payload_bytes,
             hops=hops,
             path_delay=path_delay,
-            sent_at=self.sim.now,
+            sent_at=self.clock.now,
             recovered=recovered,
             **fields,
         )
@@ -214,7 +214,7 @@ class BrisaNode(HyParViewNode):
     def on_brisa_data(self, src: NodeId, msg: bm.Data) -> None:
         state = self.stream_state(msg.stream)
         meta = extract_meta(msg)
-        hop_delay = self.sim.now - msg.sent_at
+        hop_delay = self.clock.now - msg.sent_at
         path_delay = msg.path_delay + hop_delay
         hops = msg.hops + 1
 
@@ -227,7 +227,7 @@ class BrisaNode(HyParViewNode):
         if is_neighbor:
             cand = state.candidates.get(src)
             if cand is None:
-                cand = self._candidate(src, arrival=self.sim.now)
+                cand = self._candidate(src, arrival=self.clock.now)
                 cand.path_delay = msg.path_delay
                 state.candidates[src] = cand
             else:
@@ -236,8 +236,8 @@ class BrisaNode(HyParViewNode):
                 cand.path_delay = 0.7 * cand.path_delay + 0.3 * msg.path_delay
 
         first = msg.seq not in state.delivered
-        self.network.metrics.record_delivery(
-            self.node_id, msg.stream, msg.seq, self.sim.now, src, hops, path_delay,
+        self.transport.metrics.record_delivery(
+            self.node_id, msg.stream, msg.seq, self.clock.now, src, hops, path_delay,
             msg.payload_bytes,
         )
 
@@ -250,12 +250,12 @@ class BrisaNode(HyParViewNode):
                 self._set_hops(state, hops)  # distance bookkeeping for retransmissions
                 if rules.wants_gap_recovery(
                     msg.seq, state.max_contig, msg.recovered,
-                    self.sim.now, state.last_gap_request, self.GAP_REQUEST_COOLDOWN,
+                    self.clock.now, state.last_gap_request, self.GAP_REQUEST_COOLDOWN,
                 ):
                     # Sequence gap below this delivery: messages were lost
                     # in a swap/activation race — recover them from the
                     # parent's buffer (§II-F), rate-limited.
-                    state.last_gap_request = self.sim.now
+                    state.last_gap_request = self.clock.now
                     self.send(src, bm.RetransmitRequest(state.stream, state.max_contig))
             # Infect-and-die relay: only first receptions propagate.
             self._forward(
@@ -327,21 +327,19 @@ class BrisaNode(HyParViewNode):
 
     def _arrival_of(self, state: StreamState, peer: NodeId) -> float:
         cand = state.candidates.get(peer)
-        return cand.arrival if cand is not None else self.sim.now
+        return cand.arrival if cand is not None else self.clock.now
 
     def _candidate(
         self, peer: NodeId, arrival: float, state: Optional[StreamState] = None
     ) -> Candidate:
         """Candidate snapshot; RTT/uptime/load/capacity mirror the info the
         paper piggybacks on HyParView keep-alives (§II-E, §II-F)."""
-        rtt = self.network.rtt(self.node_id, peer)
+        rtt = self.transport.rtt(self.node_id, peer)
         uptime = 0.0
         load = 0
-        peer_node = self.network.nodes.get(peer)
-        if peer_node is not None and peer_node.alive:
-            uptime = peer_node.uptime
-            if isinstance(peer_node, BrisaNode):
-                load = len(peer_node.children_of(0))
+        stats = self.transport.peer_stats(peer, 0)
+        if stats is not None:
+            uptime, load = stats
         path_delay = 0.0
         if state is not None:
             cached = state.candidates.get(peer)
@@ -353,7 +351,7 @@ class BrisaNode(HyParViewNode):
             rtt=rtt,
             uptime=uptime,
             load=load,
-            capacity=self.network.capacity(peer),
+            capacity=self.transport.capacity(peer),
             path_delay=path_delay,
         )
 
@@ -423,7 +421,7 @@ class BrisaNode(HyParViewNode):
         if action is rules.PARENT_DROP_CYCLE:
             # "A node that detects a cycle from a parent simply makes the
             # link from that parent inactive and selects a new parent."
-            self.network.metrics.incr("cycles_detected")
+            self.transport.metrics.incr("cycles_detected")
             self._remove_parent(state, src, deactivate=True)
             if not state.parents:
                 self._begin_repair(state, record=False)
@@ -432,7 +430,7 @@ class BrisaNode(HyParViewNode):
             # while still accepting our relays is consuming us as its own
             # parent — a two-cycle chasing its own depth labels (§II-G
             # safety: cycles must never survive).
-            self.network.metrics.incr("cycles_detected")
+            self.transport.metrics.incr("cycles_detected")
             self._remove_parent(state, src, deactivate=True)
             state.demote_counts.pop(src, None)
             if not state.parents:
@@ -520,7 +518,7 @@ class BrisaNode(HyParViewNode):
         self._set_in_active(state, peer, False)
         self.send(peer, bm.Deactivate(state.stream))
         if state.first_deact_at is None:
-            state.first_deact_at = self.sim.now
+            state.first_deact_at = self.clock.now
         self._check_settled(state)
 
     def _check_settled(self, state: StreamState) -> None:
@@ -529,8 +527,8 @@ class BrisaNode(HyParViewNode):
         if state.settled_at is not None or state.first_deact_at is None:
             return
         if state.active_in_count() <= self.config.num_parents:
-            state.settled_at = self.sim.now
-            self.network.metrics.record_construction(
+            state.settled_at = self.clock.now
+            self.transport.metrics.record_construction(
                 self.node_id, state.first_deact_at, state.settled_at
             )
 
@@ -583,9 +581,9 @@ class BrisaNode(HyParViewNode):
             if peer in state.parents:
                 self._drop_parent_edge(state, peer)
                 if state.engaged and not state.is_source:
-                    self.network.metrics.record_parent_loss(self.sim.now, self.node_id)
+                    self.transport.metrics.record_parent_loss(self.clock.now, self.node_id)
                     if not state.parents:
-                        self.network.metrics.record_orphan(self.sim.now, self.node_id)
+                        self.transport.metrics.record_orphan(self.clock.now, self.node_id)
                         self._begin_repair(state, record=True)
                     elif len(state.parents) < self.config.num_parents:
                         # DAG continuity: top the parent set back up, but
@@ -603,7 +601,7 @@ class BrisaNode(HyParViewNode):
             return
         state.repairing = True
         state.repair_record = record
-        state.repair_started = self.sim.now
+        state.repair_started = self.clock.now
         state.repair_hard = False
         state.repair_allow_hard = allow_hard
         self._soft_repair(state)
@@ -625,17 +623,12 @@ class BrisaNode(HyParViewNode):
     def _peer_position(self, peer: NodeId, stream: StreamId) -> Any:
         """Position advertised by a neighbour on its keep-alives.
 
-        The simulator reads the neighbour's live state directly instead of
-        simulating per-heartbeat piggyback messages (see DESIGN.md §5);
-        the Activate/Ack handshake still re-validates before adoption.
+        The simulator's transport reads the neighbour's live state
+        directly instead of simulating per-heartbeat piggyback messages
+        (see DESIGN.md §5); the Activate/Ack handshake still re-validates
+        before adoption.
         """
-        node = self.network.nodes.get(peer)
-        if node is None or not node.alive or not isinstance(node, BrisaNode):
-            return None
-        peer_state = node.streams.get(stream)
-        if peer_state is None:
-            return None
-        return peer_state.position
+        return self.transport.peer_position(peer, stream)
 
     def _soft_repair(self, state: StreamState) -> None:
         candidates = self._repair_candidates(state)
@@ -668,7 +661,7 @@ class BrisaNode(HyParViewNode):
             state.repair_attempt += 1
             attempt = state.repair_attempt
             self.send(cand.peer, bm.Activate(state.stream, adopt=True))
-            timeout = max(0.02, 6.0 * self.network.rtt(self.node_id, cand.peer))
+            timeout = max(0.02, 6.0 * self.transport.rtt(self.node_id, cand.peer))
             self.after(timeout, self._repair_timeout, state.stream, attempt)
             return
         # Queue exhausted without adoption.
@@ -702,11 +695,11 @@ class BrisaNode(HyParViewNode):
             self._repair_next(state)
 
     def _finish_repair(self, state: StreamState) -> None:
-        duration = self.sim.now - state.repair_started
+        duration = self.clock.now - state.repair_started
         if state.repair_record:
             kind = "hard" if state.repair_hard else "soft"
-            self.network.metrics.record_repair(
-                self.sim.now, self.node_id, kind, duration, state.stream
+            self.transport.metrics.record_repair(
+                self.clock.now, self.node_id, kind, duration, state.stream
             )
         state.repairing = False
         state.repair_pending = None

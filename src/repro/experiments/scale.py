@@ -65,6 +65,22 @@ FAST = Scale(
     join_spacing=0.05,
 )
 
+#: The live-runner smoke rung (DESIGN.md §13): 64 nodes is small enough
+#: for a multi-process localhost UDP run to finish in seconds while
+#: still forcing real cross-process traffic with two or more workers.
+SMALL = Scale(
+    name="small",
+    cluster_nodes=64,
+    planetlab_nodes=24,
+    planetlab_nodes_large=24,
+    small_nodes=32,
+    messages=10,
+    churn_duration=60.0,
+    churn_period=15.0,
+    settle=20.0,
+    join_spacing=0.05,
+)
+
 TINY = Scale(
     name="tiny",
     cluster_nodes=32,
@@ -144,6 +160,7 @@ XXXL = Scale(
 SCALES = {
     "paper": PAPER,
     "fast": FAST,
+    "small": SMALL,
     "tiny": TINY,
     "large": LARGE,
     "xl": XL,

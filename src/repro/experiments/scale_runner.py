@@ -12,6 +12,11 @@ protocols from flooding.
 
 Pieces, in stack order:
 
+- :class:`RunSpec` — one declarative scale-run request (stack + workload
+  + structure knobs), validated in one place and consumed by both stack
+  entry points through :func:`repro.experiments.scenarios.run_spec`;
+  the CLI's ``repro scale`` and ``repro live`` both build one instead of
+  duplicating kwarg plumbing;
 - :func:`spread_sources` — K publishers spread evenly over a population;
 - :class:`ScaleRunner` — phase mark + per-stream injection windows +
   timed drain, returning engine telemetry (:class:`DriveStats`);
@@ -36,6 +41,71 @@ from repro.core.structure import extract_structure, is_complete_structure
 from repro.ids import NodeId
 from repro.sim.engine import Simulator
 from repro.sim.monitor import DISSEMINATION
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One scale-run request, stack-agnostic until dispatch.
+
+    Collapses the kwarg sprawl the two ``run_scale_*`` entry points had
+    grown (kernel/streams/churn/mode/bootstrap/size) into a single
+    validated value that the CLI, the live runner and library callers
+    all share.  ``None`` means "stack default" for every optional knob,
+    so a spec never has to know which stack it will be dispatched to
+    until :meth:`validate` / :func:`~repro.experiments.scenarios.run_spec`.
+
+    Validation mirrors the CLI's historic fail-fast checks: BRISA-only
+    knobs (``mode``, ``bootstrap``) are rejected on the flood stack and
+    the flood-only knob (``churn_percent``) on the BRISA stack, so a
+    forgotten ``--stack brisa`` cannot silently benchmark the wrong
+    stack while ignoring what the user asked for.
+    """
+
+    stack: str = "flood"
+    #: Scale-rung name (:func:`repro.experiments.scale.get_scale`).
+    size: str = "large"
+    #: Population override; ``None`` uses the rung's ``cluster_nodes``.
+    nodes: Optional[int] = None
+    messages: int = 20
+    rate: float = 20.0
+    payload_bytes: int = 1024
+    seed: int = 1
+    streams: int = 1
+    #: ``None`` -> object kernel.
+    kernel: Optional[str] = None
+    #: ``None`` -> stack default (5 for flood, settled-ramp for brisa).
+    degree: Optional[int] = None
+    #: BRISA only: ``tree`` (default) or ``dag``.
+    mode: Optional[str] = None
+    #: BRISA only: ``synthesized`` (default) | ``simulated`` | checkpoint path.
+    bootstrap: Optional[str] = None
+    #: Flood only: percentage of the population churned during the stream.
+    churn_percent: Optional[float] = None
+
+    def validate(self) -> None:
+        if self.stack not in ("flood", "brisa"):
+            raise ValueError(f"unknown stack {self.stack!r}; known: brisa, flood")
+        if self.stack != "brisa":
+            # A forgotten stack='brisa' must not silently benchmark the
+            # flood stack while ignoring the BRISA-only knobs that were
+            # set.  Messages are flag-phrased: the CLI prints them as-is.
+            for knob, value in (("--mode", self.mode), ("--bootstrap", self.bootstrap)):
+                if value is not None:
+                    raise ValueError(
+                        f"{knob} applies to the brisa stack only (add --stack brisa)"
+                    )
+        elif self.churn_percent is not None:
+            raise ValueError(
+                "--churn applies to the flood stack only "
+                "(BRISA churn runs through the repair scenarios)"
+            )
+        if self.nodes is not None and self.nodes < 1:
+            raise ValueError("nodes must be >= 1")
+        validate_workload(self.messages, self.rate, self.streams, self.nodes)
+
+    def population(self, scale) -> int:
+        """Resolve the population against a :class:`~repro.experiments.scale.Scale`."""
+        return self.nodes if self.nodes is not None else scale.cluster_nodes
 
 
 @dataclass

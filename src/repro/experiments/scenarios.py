@@ -44,6 +44,7 @@ from repro.experiments.scale import (
     FAST,
     LARGE,
     PAPER,
+    SMALL,
     XL,
     XXL,
     XXXL,
@@ -74,6 +75,7 @@ from repro.experiments.scale_flood import (
     vectorized_microbench,
 )
 from repro.experiments.scale_runner import (
+    RunSpec,
     ScaleRunner,
     StreamOutcome,
     merge_json,
@@ -89,6 +91,46 @@ from repro.experiments.structural import (
     fig8_tree_shape,
     relay_load_spread,
 )
+
+def run_spec(spec: RunSpec):
+    """Dispatch one :class:`RunSpec` to the matching stack entry point.
+
+    This is the seam that lets the spec live in ``scale_runner`` (which
+    neither stack module may import from without a cycle) while still
+    being runnable as a value: validate once, resolve the scale rung,
+    then call ``run_scale_brisa`` / ``run_scale_flood`` with the spec's
+    knobs and the rung's ramp parameters.
+    """
+    spec.validate()
+    scale = get_scale(spec.size)
+    nodes = spec.population(scale)
+    if spec.stack == "brisa":
+        return run_scale_brisa(
+            nodes,
+            spec.messages,
+            mode=spec.mode if spec.mode is not None else "tree",
+            degree=spec.degree,
+            rate=spec.rate,
+            payload_bytes=spec.payload_bytes,
+            seed=spec.seed,
+            bootstrap=spec.bootstrap if spec.bootstrap is not None else "synthesized",
+            join_spacing=scale.join_spacing,
+            settle=scale.settle,
+            streams=spec.streams,
+            kernel=spec.kernel if spec.kernel is not None else "object",
+        )
+    return run_scale_flood(
+        nodes,
+        spec.messages,
+        degree=spec.degree if spec.degree is not None else 5,
+        rate=spec.rate,
+        payload_bytes=spec.payload_bytes,
+        seed=spec.seed,
+        kernel=spec.kernel if spec.kernel is not None else "object",
+        churn_percent=spec.churn_percent if spec.churn_percent is not None else 0.0,
+        streams=spec.streams,
+    )
+
 
 __all__ = [
     "BandwidthResult",
@@ -106,6 +148,8 @@ __all__ = [
     "OccupancyMicrobenchResult",
     "PAPER",
     "RelayLoadSpread",
+    "RunSpec",
+    "SMALL",
     "Scale",
     "ScaleBrisaResult",
     "ScaleFloodResult",
@@ -142,6 +186,7 @@ __all__ = [
     "merge_json",
     "multistream_microbench",
     "relay_load_spread",
+    "run_spec",
     "spread_sources",
     "table1_churn",
     "table2_latency",

@@ -104,7 +104,7 @@ class HyParViewNode(PeerSamplingNode):
             fresh.pop(self.node_id, None)
             self.active = fresh
             if register_links:
-                register = self.network.register_link
+                register = self.transport.register_link
                 for peer in fresh:
                     register(self.node_id, peer)
             for peer in fresh:
@@ -119,7 +119,7 @@ class HyParViewNode(PeerSamplingNode):
             self.passive.discard(peer)
             self.active[peer] = None
             if register_links:
-                self.network.register_link(self.node_id, peer)
+                self.transport.register_link(self.node_id, peer)
             self._notify_up(peer)
         for peer in passive:
             if peer != self.node_id and peer not in self.active:
@@ -183,7 +183,7 @@ class HyParViewNode(PeerSamplingNode):
         self._pending_neighbor.pop(peer, None)
         self._promotion_rejected.discard(peer)
         self.active[peer] = None
-        self.network.register_link(self.node_id, peer)
+        self.transport.register_link(self.node_id, peer)
         self._notify_up(peer)
 
     def _drop_active(
@@ -192,7 +192,7 @@ class HyParViewNode(PeerSamplingNode):
         if peer not in self.active:
             return
         del self.active[peer]
-        self.network.unregister_link(self.node_id, peer)
+        self.transport.unregister_link(self.node_id, peer)
         if notify_peer:
             self.send(peer, m.Disconnect())
         if not failure:
@@ -227,7 +227,7 @@ class HyParViewNode(PeerSamplingNode):
         self._neighbor_seq += 1
         self._pending_neighbor[peer] = self._neighbor_seq
         self.send(peer, m.Neighbor(priority))
-        timeout = max(0.05, 6.0 * self.network.rtt(self.node_id, peer))
+        timeout = max(0.05, 6.0 * self.transport.rtt(self.node_id, peer))
         self.after(timeout, self._neighbor_timeout, peer, self._neighbor_seq)
 
     def _neighbor_timeout(self, peer: NodeId, attempt: int) -> None:
@@ -275,7 +275,7 @@ class HyParViewNode(PeerSamplingNode):
         self._promotion_rejected.discard(peer)
         if peer in self.active:
             del self.active[peer]
-            self.network.unregister_link(self.node_id, peer)
+            self.transport.unregister_link(self.node_id, peer)
             self._notify_down(peer, failure=True)
         self._maybe_replace()
 

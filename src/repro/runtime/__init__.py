@@ -1,0 +1,19 @@
+"""Backend-neutral runtime seam: Clock + MessageTransport contracts.
+
+Protocol state machines (:class:`repro.sim.node.ProtocolNode` and its
+subclasses) speak only the structural contracts defined in
+:mod:`repro.runtime.api`.  Two backends implement them:
+
+- the discrete-event simulator (``repro.sim.engine.Simulator`` /
+  ``repro.sim.network.Network`` duck-type the contracts directly, so the
+  simulated hot paths pay zero adaptation overhead), and
+- the asyncio backend (:mod:`repro.runtime.asyncio_backend`): real
+  monotonic clocks and UDP datagram sockets, one event loop per worker
+  process.
+
+See DESIGN.md §13.
+"""
+
+from repro.runtime.api import Clock, MessageTransport, PeriodicTask, ScheduledHandle
+
+__all__ = ["Clock", "MessageTransport", "PeriodicTask", "ScheduledHandle"]

@@ -370,77 +370,10 @@ class Simulator:
         return self._heap[0][0] if self._heap else None
 
 
-class PeriodicTask:
-    """Re-scheduling periodic callback with optional uniform jitter.
+# PeriodicTask moved to the runtime seam (it is pure clock algebra — it
+# only calls ``clock.schedule`` — and both backends reuse it).  Imported
+# at the bottom so ``repro.runtime.api`` never sees this module
+# half-initialized, and re-exported here for backward compatibility.
+from repro.runtime.api import PeriodicTask  # noqa: E402
 
-    Protocol timers (shuffles, keep-alives, pulls) use jitter to avoid the
-    lock-step synchrony a real deployment never exhibits.
-
-    Stop/restart semantics: ``stop()`` cancels the pending firing;
-    ``start()`` after a ``stop()`` behaves exactly like the first start,
-    including the ``start_delay`` override.  ``stop()`` called from inside
-    ``fn()`` during a firing suppresses the re-schedule.
-
-    ``rng`` may be an RNG instance or a zero-argument provider returning
-    one; a provider is resolved on the first jittered delay draw.  Nodes
-    pass a provider so a task that never starts (deferred-timer bulk
-    bootstrap, DESIGN.md §8) never forces its node's RNG stream into
-    existence.
-    """
-
-    def __init__(
-        self,
-        sim: Simulator,
-        period: float,
-        fn: Callable[[], None],
-        *,
-        jitter: float = 0.0,
-        rng=None,
-        start_delay: Optional[float] = None,
-    ) -> None:
-        if period <= 0:
-            raise SimulationError("period must be positive")
-        if not 0.0 <= jitter < 1.0:
-            raise SimulationError("jitter must be in [0, 1)")
-        self.sim = sim
-        self.period = period
-        self.fn = fn
-        self.jitter = jitter
-        self.rng = rng
-        self._handle: Optional[EventHandle] = None
-        self._running = False
-        self._start_delay = start_delay
-
-    def _next_delay(self) -> float:
-        if self.jitter and self.rng is not None:
-            rng = self.rng
-            if not hasattr(rng, "uniform"):
-                rng = self.rng = rng()
-            spread = self.period * self.jitter
-            return self.period + rng.uniform(-spread, spread)
-        return self.period
-
-    def start(self) -> "PeriodicTask":
-        if self._running:
-            return self
-        self._running = True
-        delay = self._start_delay if self._start_delay is not None else self._next_delay()
-        self._handle = self.sim.schedule(max(0.0, delay), self._fire)
-        return self
-
-    def _fire(self) -> None:
-        if not self._running:
-            return
-        self.fn()
-        if self._running:  # fn() may have stopped us
-            self._handle = self.sim.schedule(self._next_delay(), self._fire)
-
-    def stop(self) -> None:
-        self._running = False
-        if self._handle is not None:
-            self._handle.cancel()
-            self._handle = None
-
-    @property
-    def running(self) -> bool:
-        return self._running
+__all__ = ["EventHandle", "PeriodicTask", "Simulator"]

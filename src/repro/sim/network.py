@@ -57,6 +57,10 @@ class Network:
         capacity_sigma: float = 0.5,
     ) -> None:
         self.sim = sim
+        #: The runtime-seam name for the time source (DESIGN.md §13):
+        #: ``Network`` doubles as the simulator's ``MessageTransport``
+        #: implementation, and ``Simulator`` duck-types ``Clock``.
+        self.clock = sim
         self.latency = latency if latency is not None else ConstantLatency()
         self.metrics = metrics if metrics is not None else Metrics()
         self.keepalive_period = keepalive_period
@@ -785,6 +789,37 @@ class Network:
             )
             self._capacities[node_id] = cap
         return cap
+
+    def peer_stats(self, peer: NodeId, stream: int) -> "tuple[float, int] | None":
+        """(uptime, relay-load) of a live peer, or None (runtime seam).
+
+        Stands in for the stats the paper piggybacks on HyParView
+        keep-alives (§II-E): the simulator reads the peer object
+        directly.  Duck-typed on ``children_of`` so this module needs no
+        BRISA import; non-BRISA populations report zero load, exactly as
+        the old in-protocol ``isinstance`` check did.
+        """
+        peer_node = self.nodes.get(peer)
+        if peer_node is None or not peer_node.alive:
+            return None
+        children_of = getattr(peer_node, "children_of", None)
+        load = len(children_of(stream)) if children_of is not None else 0
+        return (peer_node.uptime, load)
+
+    def peer_position(self, peer: NodeId, stream: int) -> "int | None":
+        """A live peer's last-contiguous stream position, or None.
+
+        Backs BRISA's path-predictor eligibility probe; same
+        omniscient-simulator shortcut as :meth:`peer_stats`.
+        """
+        peer_node = self.nodes.get(peer)
+        if peer_node is None or not peer_node.alive:
+            return None
+        streams = getattr(peer_node, "streams", None)
+        if streams is None:
+            return None
+        peer_state = streams.get(stream)
+        return peer_state.position if peer_state is not None else None
 
     # ------------------------------------------------------------------
     # Analytic keep-alive accounting (see DESIGN.md §5)

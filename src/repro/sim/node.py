@@ -5,6 +5,13 @@ Concrete protocol layers (HyParView, Cyclon, BRISA, the baselines) extend
 created through :meth:`after`/:meth:`periodic` are automatically silenced
 when the node crashes, so failure injection can never resurrect a node
 through a stale callback.
+
+Nodes are written against the runtime seam (DESIGN.md §13): everything a
+node does goes through ``self.clock`` (time, timers, seeded RNG streams)
+and ``self.transport`` (sends, link bookkeeping, metrics).  The simulated
+``Network``/``Simulator`` pair satisfies those contracts directly; the
+asyncio backend substitutes real sockets and wall clocks without the node
+noticing.
 """
 
 from __future__ import annotations
@@ -13,12 +20,12 @@ from typing import Callable, Optional
 
 from repro.errors import ProtocolError
 from repro.ids import NodeId
-from repro.sim.engine import EventHandle, PeriodicTask
+from repro.runtime.api import MessageTransport, PeriodicTask, ScheduledHandle
 from repro.sim.message import Message
 
 
 class ProtocolNode:
-    """A simulated process participating in the overlay."""
+    """A process participating in the overlay (simulated or live)."""
 
     #: Label under which this node's RNG stream is derived (defaults to
     #: the concrete class name).  An alternative implementation of the
@@ -28,12 +35,12 @@ class ProtocolNode:
     #: draw-for-draw comparable under churn.
     rng_kind: "str | None" = None
 
-    def __init__(self, network, node_id: NodeId) -> None:
-        self.network = network
-        self.sim = network.sim
+    def __init__(self, transport: MessageTransport, node_id: NodeId) -> None:
+        self.transport = transport
+        self.clock = transport.clock
         self.node_id = node_id
         self.alive = True
-        self.birth_time = self.sim.now
+        self.birth_time = self.clock.now
         self._tasks: list[PeriodicTask] = []
 
     def __getattr__(self, name: str):
@@ -43,7 +50,7 @@ class ProtocolNode:
         # nodes that stay on deterministic code paths (DESIGN.md §8).
         if name == "_rng":
             cls = type(self)
-            rng = self.sim.rng("node", self.node_id, cls.rng_kind or cls.__name__)
+            rng = self.clock.rng("node", self.node_id, cls.rng_kind or cls.__name__)
             self._rng = rng
             return rng
         raise AttributeError(
@@ -51,17 +58,32 @@ class ProtocolNode:
         )
 
     # ------------------------------------------------------------------
+    # Legacy backend views (pre-seam names; simulator-backed code only)
+    # ------------------------------------------------------------------
+    @property
+    def network(self):
+        """The transport under its historical name.  Simulator-specific
+        callers (kernels, testbeds, tests) still reach through this; the
+        protocol modules themselves no longer do."""
+        return self.transport
+
+    @property
+    def sim(self):
+        """The clock under its historical name (see :attr:`network`)."""
+        return self.clock
+
+    # ------------------------------------------------------------------
     # Identity / introspection
     # ------------------------------------------------------------------
     @property
     def uptime(self) -> float:
         """Seconds since this node joined (gerontocratic strategy input)."""
-        return self.sim.now - self.birth_time
+        return self.clock.now - self.birth_time
 
     @property
     def capacity(self) -> float:
         """Relative bandwidth capacity (heterogeneity strategy input)."""
-        return self.network.capacity(self.node_id)
+        return self.transport.capacity(self.node_id)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "up" if self.alive else "down"
@@ -71,11 +93,11 @@ class ProtocolNode:
     # Messaging
     # ------------------------------------------------------------------
     def send(self, dst: NodeId, msg: Message) -> None:
-        self.network.send(self.node_id, dst, msg)
+        self.transport.send(self.node_id, dst, msg)
 
     def send_many(self, dsts, msg: Message) -> int:
         """Fan one (immutable) message out to several peers in one call."""
-        return self.network.send_many(self.node_id, dsts, msg)
+        return self.transport.send_many(self.node_id, dsts, msg)
 
     def handle_message(self, src: NodeId, msg: Message) -> None:
         if not self.alive:
@@ -90,12 +112,12 @@ class ProtocolNode:
     # ------------------------------------------------------------------
     # Timers (all guarded on liveness)
     # ------------------------------------------------------------------
-    def after(self, delay: float, fn: Callable, *args) -> EventHandle:
+    def after(self, delay: float, fn: Callable, *args) -> ScheduledHandle:
         def guarded() -> None:
             if self.alive:
                 fn(*args)
 
-        return self.sim.schedule(delay, guarded)
+        return self.clock.schedule(delay, guarded)
 
     def periodic(
         self, period: float, fn: Callable[[], None], *, jitter: float = 0.1,
@@ -108,11 +130,11 @@ class ProtocolNode:
         # The RNG is handed over as a lazy provider so an unstarted task
         # (deferred-timer bootstrap) never materializes the node's stream.
         task = PeriodicTask(
-            self.sim, period, guarded, jitter=jitter, rng=lambda: self._rng,
+            self.clock, period, guarded, jitter=jitter, rng=lambda: self._rng,
             start_delay=start_delay,
         )
         self._tasks.append(task)
-        if getattr(self.network, "autostart_timers", True):
+        if getattr(self.transport, "autostart_timers", True):
             task.start()
         return task
 

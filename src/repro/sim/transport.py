@@ -4,9 +4,13 @@ BRISA/HyParView keep persistent TCP connections to active-view neighbours,
 so their messages pay only propagation delay.  TAG tears connections down
 between list-traversal hops; §III-D attributes TAG's poor PlanetLab
 construction time exactly to this per-hop "create a connection, exchange
-messages, tear it down" cost.  :class:`Transport` exposes that cost so the
-TAG implementation can model it without the simulator growing a full TCP
-state machine.
+messages, tear it down" cost.  :class:`TransientConnCost` exposes that
+cost so the TAG implementation can model it without the simulator growing
+a full TCP state machine.
+
+(Historically this class was named ``Transport``; it was renamed when the
+runtime seam (DESIGN.md §13) claimed that name for the actual message
+transport contract.  The old name remains as a deprecation alias.)
 """
 
 from __future__ import annotations
@@ -17,7 +21,7 @@ from repro.ids import NodeId
 from repro.sim.network import Network
 
 
-class Transport:
+class TransientConnCost:
     """Per-node helper for protocols with non-persistent connections."""
 
     def __init__(self, network: Network, node_id: NodeId, setup_rtts: float = 1.5) -> None:
@@ -46,3 +50,7 @@ class Transport:
                 on_fail()
 
         self.network.sim.schedule(self.setup_delay(peer), complete)
+
+
+#: Deprecated alias (pre-runtime-seam name); use :class:`TransientConnCost`.
+Transport = TransientConnCost

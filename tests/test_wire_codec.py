@@ -1,0 +1,195 @@
+"""Wire-codec properties (DESIGN.md §13).
+
+Every message class registered in :mod:`repro.runtime.wire` must
+round-trip encode -> decode to an identical message — same type, same
+wire fields (Bloom ancestor filters included: arbitrary-precision ints
+up to 1024 bits), same byte accounting.  The strategies below are
+coverage-checked against the registry so a new message class cannot
+land without a round-trip property.
+
+Malformed frames are the other half of the contract: truncation, junk,
+oversize declarations, unknown kinds and field mismatches must all
+raise :class:`WireCodecError` — a datagram transport drops such packets
+instead of half-building messages from them.
+"""
+
+import json
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import messages as cm
+from repro.membership import messages as mm
+from repro.runtime.wire import (
+    MAX_FRAME_BYTES,
+    REGISTRY,
+    WireCodecError,
+    decode_frame,
+    decode_message,
+    encode_frame,
+    encode_message,
+    wire_fields,
+)
+
+node_ids = st.integers(min_value=0, max_value=2**31 - 1)
+streams = st.integers(min_value=0, max_value=2**15 - 1)
+seqs = st.integers(min_value=0, max_value=2**31 - 1)
+#: Python floats round-trip exactly through JSON's repr-based encoding;
+#: only NaN/Inf are excluded (not strict JSON).
+times = st.floats(allow_nan=False, allow_infinity=False)
+#: Up to the full 1024-bit Bloom filter of the §II-D comparison baseline.
+blooms = st.integers(min_value=0, max_value=2**1024 - 1)
+bloom_bits = st.integers(min_value=0, max_value=1024)
+paths = st.tuples() | st.lists(node_ids, max_size=8).map(tuple)
+hpv_entries = st.lists(node_ids, max_size=8).map(tuple)
+aged_entries = st.lists(
+    st.tuples(node_ids, st.integers(min_value=0, max_value=255)), max_size=8
+).map(tuple)
+
+#: One strategy per registered message class (coverage-checked below).
+MESSAGE_STRATEGIES: dict[type, st.SearchStrategy] = {
+    cm.Data: st.builds(
+        cm.Data,
+        stream=streams,
+        seq=seqs,
+        payload_bytes=st.integers(min_value=0, max_value=1 << 20),
+        path=st.none() | paths,
+        depth=st.none() | st.integers(min_value=0, max_value=2**16),
+        bloom=st.none() | blooms,
+        bloom_bits=bloom_bits,
+        hops=st.integers(min_value=0, max_value=64),
+        path_delay=times,
+        sent_at=times,
+        recovered=st.booleans(),
+    ),
+    cm.Deactivate: st.builds(cm.Deactivate, stream=streams),
+    cm.Activate: st.builds(cm.Activate, stream=streams, adopt=st.booleans()),
+    cm.ActivateAck: st.builds(
+        cm.ActivateAck,
+        stream=streams,
+        path=st.none() | paths,
+        depth=st.none() | st.integers(min_value=0, max_value=2**16),
+        bloom=st.none() | blooms,
+        bloom_bits=bloom_bits,
+    ),
+    cm.ReactivateOrder: st.builds(cm.ReactivateOrder, stream=streams),
+    cm.DepthUpdate: st.builds(
+        cm.DepthUpdate, stream=streams, depth=st.integers(min_value=0, max_value=2**16)
+    ),
+    cm.BloomUpdate: st.builds(
+        cm.BloomUpdate, stream=streams, bloom=blooms, bloom_bits=bloom_bits
+    ),
+    cm.RetransmitRequest: st.builds(
+        cm.RetransmitRequest, stream=streams, have_up_to=seqs
+    ),
+    mm.Join: st.builds(mm.Join),
+    mm.ForwardJoin: st.builds(
+        mm.ForwardJoin, joiner=node_ids, ttl=st.integers(min_value=0, max_value=16)
+    ),
+    mm.Neighbor: st.builds(mm.Neighbor, priority=st.booleans()),
+    mm.NeighborAccept: st.builds(mm.NeighborAccept),
+    mm.NeighborReject: st.builds(mm.NeighborReject),
+    mm.Disconnect: st.builds(mm.Disconnect),
+    mm.Shuffle: st.builds(
+        mm.Shuffle,
+        origin=node_ids,
+        entries=hpv_entries,
+        ttl=st.integers(min_value=0, max_value=16),
+    ),
+    mm.ShuffleReply: st.builds(mm.ShuffleReply, entries=hpv_entries),
+    mm.CyclonShuffle: st.builds(mm.CyclonShuffle, entries=aged_entries),
+    mm.CyclonShuffleReply: st.builds(mm.CyclonShuffleReply, entries=aged_entries),
+    mm.CyclonJoin: st.builds(mm.CyclonJoin),
+    mm.CyclonJoinReply: st.builds(mm.CyclonJoinReply, entries=aged_entries),
+}
+
+
+def test_strategies_cover_registry():
+    """A message class added to either module lands in the registry at
+    import time; this pins that it also gets a round-trip strategy."""
+    assert {cls for cls, _ in REGISTRY.values()} == set(MESSAGE_STRATEGIES)
+
+
+def assert_identical(original, decoded):
+    assert type(decoded) is type(original)
+    for name in wire_fields(type(original)):
+        assert getattr(decoded, name) == getattr(original, name), name
+    assert decoded.size_bytes() == original.size_bytes()
+
+
+@settings(max_examples=50)
+@given(data=st.data())
+@pytest.mark.parametrize("cls", sorted(MESSAGE_STRATEGIES, key=lambda c: c.kind))
+def test_roundtrip_identity(cls, data):
+    msg = data.draw(MESSAGE_STRATEGIES[cls])
+    assert_identical(msg, decode_message(encode_message(msg)))
+    decoded, end = decode_frame(encode_frame(msg))
+    assert_identical(msg, decoded)
+    assert end == len(encode_frame(msg))
+
+
+@settings(max_examples=50)
+@given(data=st.data())
+def test_roundtrip_back_to_back_frames(data):
+    """Frames are self-delimiting: a concatenation decodes message by
+    message with no separator."""
+    strategies = list(MESSAGE_STRATEGIES.values())
+    msgs = data.draw(st.lists(st.sampled_from(strategies).flatmap(lambda s: s),
+                              min_size=1, max_size=4))
+    blob = b"".join(encode_frame(m) for m in msgs)
+    offset = 0
+    for original in msgs:
+        decoded, offset = decode_frame(blob, offset)
+        assert_identical(original, decoded)
+    assert offset == len(blob)
+
+
+@settings(max_examples=50)
+@given(data=st.data())
+def test_truncated_frames_rejected(data):
+    """Any strict prefix of a frame is rejected, never mis-decoded."""
+    msg = data.draw(MESSAGE_STRATEGIES[cm.Data])
+    frame = encode_frame(msg)
+    cut = data.draw(st.integers(min_value=0, max_value=len(frame) - 1))
+    with pytest.raises(WireCodecError):
+        decode_frame(frame[:cut])
+
+
+def test_unknown_kind_rejected():
+    payload = json.dumps({"k": "no_such_kind", "f": {}}).encode()
+    with pytest.raises(WireCodecError, match="unknown message kind"):
+        decode_message(payload)
+
+
+def test_junk_payload_rejected():
+    with pytest.raises(WireCodecError):
+        decode_message(b"\xff\xfe not json")
+    with pytest.raises(WireCodecError):
+        decode_message(b"[1, 2, 3]")  # JSON, wrong shape
+
+
+def test_field_mismatch_rejected():
+    """Missing and extra fields both fail: the decoder rebuilds via
+    ``__slots__`` and a partial object must never escape."""
+    good = json.loads(encode_message(cm.Deactivate(3)))
+    missing = dict(good, f={})
+    with pytest.raises(WireCodecError, match="field mismatch"):
+        decode_message(json.dumps(missing).encode())
+    extra = dict(good, f=dict(good["f"], bogus=1))
+    with pytest.raises(WireCodecError, match="field mismatch"):
+        decode_message(json.dumps(extra).encode())
+
+
+def test_oversize_declaration_rejected():
+    """A hostile length prefix must not trigger a giant allocation."""
+    header = struct.pack("!I", MAX_FRAME_BYTES + 1)
+    with pytest.raises(WireCodecError, match="exceeds cap"):
+        decode_frame(header + b"x")
+
+
+def test_oversize_frame_rejected_on_encode():
+    big = cm.Data(0, 0, 0, path=tuple(range(400_000)))
+    with pytest.raises(WireCodecError, match="too large"):
+        encode_frame(big)
