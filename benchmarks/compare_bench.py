@@ -56,6 +56,19 @@ GATED_METRICS: dict[str, list[tuple[str, str, float | None]]] = {
         ("xxl_churn.delivered_fraction", "higher", None),
         ("xxxl.delivered_fraction", "higher", None),
         ("xxxl.events", "lower", None),
+        # Scenario-diversity family (DESIGN.md §14): per topology class,
+        # lossless delivery plus the 2%-loss response.  relay_spread is a
+        # deterministic property of the synthesized overlay, gated so
+        # builder drift (a flattened tail) shows up as a regression.
+        ("topology.uniform.delivered_fraction", "higher", None),
+        ("topology.powerlaw.delivered_fraction", "higher", None),
+        ("topology.smallworld.delivered_fraction", "higher", None),
+        ("topology.powerlaw.duplicate_overhead", "lower", None),
+        ("topology.powerlaw.relay_spread", "lower", None),
+        ("loss.uniform_l2.delivered_fraction", "higher", None),
+        ("loss.powerlaw_l2.delivered_fraction", "higher", None),
+        ("loss.smallworld_l2.delivered_fraction", "higher", None),
+        ("loss.powerlaw_l2.dropped_loss", "lower", None),
     ],
     "BENCH_scale_brisa.json": [
         ("scale_run.delivered_fraction", "higher", None),
@@ -163,6 +176,13 @@ def main(argv: list[str] | None = None) -> int:
              "not inherit the committed entry",
     )
     parser.add_argument(
+        "--prune", nargs=2, action="append", metavar=("DIR", "KEYS"),
+        help="strip the comma-separated top-level entries KEYS from "
+             "BENCH_*.json in DIR and exit — the generic form of "
+             "--prune-xxl for any bench family a given CI tier does not "
+             "re-measure (e.g. --prune benchmarks/out topology,loss)",
+    )
+    parser.add_argument(
         "--baseline", type=pathlib.Path,
         default=pathlib.Path(__file__).parent / "out",
         help="directory of committed baselines (default: benchmarks/out)",
@@ -178,6 +198,8 @@ def main(argv: list[str] | None = None) -> int:
         prune_jobs.append((args.prune_xxl, ("xxl", "xxl_churn", "xxl_slotted")))
     if args.prune_xxxl is not None:
         prune_jobs.append((args.prune_xxxl, ("xxxl",)))
+    for directory, keys in args.prune or ():
+        prune_jobs.append((pathlib.Path(directory), tuple(keys.split(","))))
     if prune_jobs:
         for directory, keys in prune_jobs:
             for name in sorted(GATED_METRICS):

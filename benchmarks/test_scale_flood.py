@@ -103,7 +103,7 @@ def test_slotted_kernel_xl(emit):
     run, with bit-identical simulation outcomes (the reception counts are
     cross-checked inside slotted_microbench; the full parity surface is
     pinned by tests/test_slotted_parity.py)."""
-    mb = slotted_microbench(XL.cluster_nodes, MESSAGES, seed=3)
+    mb = slotted_microbench(XL.cluster_nodes, MESSAGES, seed=3, repeats=3)
     emit(
         "scale_flood_slotted",
         banner("Slotted microbenchmark — object vs slotted flood kernel")
@@ -127,7 +127,7 @@ def test_vectorized_kernel_xl(emit):
     counts (cross-checked inside vectorized_microbench; the full parity
     surface is pinned by tests/test_slotted_parity.py)."""
     pytest.importorskip("numpy")
-    mb = vectorized_microbench(XL.cluster_nodes, MESSAGES, seed=3)
+    mb = vectorized_microbench(XL.cluster_nodes, MESSAGES, seed=3, repeats=3)
     emit(
         "scale_flood_vectorized",
         banner("Vectorized microbenchmark — slotted vs numpy batch-drain kernel")
@@ -209,6 +209,81 @@ def test_scale_flood_churn_xl(emit):
     for field in ("deliveries", "receptions", "events", "kills", "joins",
                   "survivors", "sim_time"):
         assert getattr(slotted, field) == getattr(results["object"], field), field
+
+
+@pytest.mark.xl
+def test_topology_loss_matrix_xl(emit):
+    """The scenario-diversity family (DESIGN.md §14): delivery fraction,
+    duplicate overhead and relay-load spread per topology class × loss
+    rate over the xl overlay (slotted kernel — parity with the object and
+    vectorized kernels under loss is pinned in tests/test_slotted_parity.py).
+    Persists the gated ``topology.*`` / ``loss.*`` entries of
+    BENCH_scale.json."""
+    from repro.config import HyParViewConfig
+    from repro.experiments.bootstrap import TOPOLOGY_BUILDERS
+    from repro.sim.rng import derive
+
+    # Mirror build_static_flood_overlay's overlay parameters (degree 5)
+    # so the rebuilt CSR arrays are the run's actual topology: same
+    # builder, same derived RNG stream, same cap.
+    degree, seed = 5, 3
+    cap = HyParViewConfig(active_size=max(4, degree), passive_size=16).max_active
+    topo_entries: dict = {}
+    loss_entries: dict = {}
+    report: list[str] = []
+    for name in sorted(TOPOLOGY_BUILDERS):
+        arrays = TOPOLOGY_BUILDERS[name](
+            XL.cluster_nodes, degree=degree, max_degree=cap,
+            rng=derive(seed, "static-overlay"),
+        )
+        # Relay load in a flood is proportional to degree; the spread is
+        # its coefficient of variation (the cap clamps the *maximum*, so
+        # max/mean cannot tell a heavy tail from a lucky uniform draw).
+        degrees = arrays.degrees
+        mean = sum(degrees) / len(degrees)
+        relay_spread = (
+            sum((d - mean) ** 2 for d in degrees) / len(degrees)
+        ) ** 0.5 / mean
+        for loss in (0.0, 2.0):
+            result = run_scale_flood(
+                XL.cluster_nodes, 10, rate=20.0, seed=seed,
+                kernel="slotted", topology=name, loss_percent=loss,
+            )
+            entry = {
+                "delivered_fraction": result.delivered_fraction,
+                "duplicate_overhead": result.receptions / result.deliveries - 1.0,
+                "relay_spread": relay_spread,
+                "events": result.events,
+                "dropped_loss": result.dropped_loss,
+            }
+            if loss:
+                loss_entries[f"{name}_l{loss:g}"] = entry
+            else:
+                topo_entries[name] = entry
+            report.append(
+                banner(f"Scale flood — {result.nodes} nodes (xl, {name}, "
+                       f"{loss:g}% loss)")
+                + "\n" + result.summary()
+            )
+            # Flood redundancy must absorb 2% per-link loss on every
+            # topology class: a node misses a message only when *all* its
+            # inbound copies are dropped.
+            assert result.delivered_fraction >= 0.995, (name, loss, result.summary())
+            assert (result.dropped_loss > 0) == bool(loss), (name, loss)
+    emit("scale_flood_topology_loss", "\n\n".join(report))
+
+    OUT_DIR.mkdir(exist_ok=True)
+    merge_bench_json(
+        OUT_DIR / "BENCH_scale.json",
+        {"topology": topo_entries, "loss": loss_entries},
+    )
+
+    # Preferential attachment concentrates relay load on hubs; the
+    # cap-clamped power-law overlay must still show a visibly heavier
+    # spread than the uniform one, and the lattice-like small-world
+    # overlay a flatter or equal one.
+    assert topo_entries["powerlaw"]["relay_spread"] > topo_entries["uniform"]["relay_spread"]
+    assert topo_entries["smallworld"]["relay_spread"] <= topo_entries["powerlaw"]["relay_spread"]
 
 
 @pytest.mark.skipif(

@@ -176,8 +176,9 @@ def make_parser() -> argparse.ArgumentParser:
         "scale", help="large-scale dissemination benchmark (see DESIGN.md §6–7)"
     )
     _add_workload_args(sc_cmd, default_size="large", default_messages=20)
-    sc_cmd.add_argument("--stack", choices=["flood", "brisa"], default="flood",
-                        help="protocol stack: flood baseline or the full BRISA stack")
+    sc_cmd.add_argument("--stack", choices=["flood", "brisa", "pull"], default="flood",
+                        help="protocol stack: flood baseline, the full BRISA stack, "
+                             "or the lazy-push/pull recovery baseline")
     sc_cmd.add_argument("--degree", type=int, default=None,
                         help="overlay degree (default: 5 for flood, settled-ramp "
                              "degree for brisa)")
@@ -194,6 +195,16 @@ def make_parser() -> argparse.ArgumentParser:
                         help="flood stack only: kill PCT%% of the population at "
                              "random instants during the stream (sources protected) "
                              "and join as many fresh nodes")
+    sc_cmd.add_argument("--topology", choices=["uniform", "powerlaw", "smallworld"],
+                        default="uniform",
+                        help="synthesized overlay topology class (default uniform; "
+                             "powerlaw = preferential-attachment heavy tail, "
+                             "smallworld = rewired ring lattice; DESIGN.md §14)")
+    sc_cmd.add_argument("--loss", type=float, default=0.0, metavar="PCT",
+                        dest="loss_percent",
+                        help="per-link message loss rate in percent (default 0; "
+                             "independent coin per (message, destination) from "
+                             "its own RNG stream, DESIGN.md §14)")
     sc_cmd.add_argument("--no-microbench", action="store_true",
                         help="skip the engine and occupancy microbenchmarks")
     live_cmd = sub.add_parser(
@@ -219,6 +230,11 @@ def make_parser() -> argparse.ArgumentParser:
                                "synthesize one for this seed)")
     live_cmd.add_argument("--no-cross-check", action="store_true",
                           help="skip the same-seed simulated leg")
+    live_cmd.add_argument("--control-host", default=None, metavar="HOST",
+                          help="host the coordinator binds its control socket "
+                               "on and advertises in the node address table "
+                               "(default 127.0.0.1; set a routable address to "
+                               "run workers on other hosts)")
     return parser
 
 
@@ -236,6 +252,8 @@ def _run_scale(args) -> int:
         mode=args.mode,
         bootstrap=args.bootstrap,
         churn_percent=args.churn,
+        topology=args.topology,
+        loss_percent=args.loss_percent,
     )
     try:
         result = sc.run_spec(spec)
@@ -295,6 +313,11 @@ def _run_live(args) -> int:
             timeout=args.timeout,
             checkpoint=args.checkpoint,
             cross_check=not args.no_cross_check,
+            **(
+                {"control_host": args.control_host}
+                if args.control_host is not None
+                else {}
+            ),
         )
         outcome = run_live(live, json_path=args.json_path)
     except (ValueError, SimulationError, OSError) as exc:

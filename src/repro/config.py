@@ -112,6 +112,14 @@ class BrisaConfig:
     symmetric_deactivation: bool = True
     #: Messages buffered per stream for post-repair retransmission (§II-F).
     buffer_size: int = 64
+    #: Probe a parent when a stream goes quiet (lossy-link deployments).
+    #: §II-F gap recovery only fires when a *later* seq arrives, so a lost
+    #: final message orphans its whole subtree with no traffic left to
+    #: reveal the gap.  With this enabled, each node asks one parent for
+    #: anything beyond its contiguous prefix after the stream quiesces;
+    #: recovered data re-enters the normal first-reception forwarding path
+    #: and cascades down the subtree.
+    tail_probe: bool = False
     #: Bloom-filter size in bits (only used with cycle_predictor='bloom').
     bloom_bits: int = 1024
     bloom_hashes: int = 4

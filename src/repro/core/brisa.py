@@ -63,6 +63,13 @@ class BrisaNode(HyParViewNode):
             # All links to current neighbours start active (§II-C, §II-F).
             state.in_active = {peer: True for peer in self.active}
             self.streams[stream] = state
+            if self.config.tail_probe:
+                # Both kernels materialize state here (the slotted
+                # kernel delegates through super().stream_state), and
+                # the probe only reads fields the slotted fast path
+                # keeps current — so the timer behaves identically
+                # under either representation.
+                self._arm_tail_probe(state, -1, 0)
         return state
 
     # NOTE on synthesized bootstrap (§II-C consistency): HyParViewNode.
@@ -402,6 +409,45 @@ class BrisaNode(HyParViewNode):
 
     #: Minimum spacing between gap-triggered retransmit requests.
     GAP_REQUEST_COOLDOWN = 0.5
+
+    #: Quiescence window before a tail probe fires (config.tail_probe).
+    #: Must sit above the inter-message spacing and link latency so an
+    #: active stream keeps resetting the check instead of probing.
+    TAIL_PROBE_DELAY = 0.25
+
+    #: Consecutive no-progress probes before a node concludes the stream
+    #: has genuinely ended and lets its timer drain.  Two rounds cover
+    #: nested orphan subtrees: the outer root's recovery pushes fresh
+    #: data into the inner subtree, whose own probe then has a caught-up
+    #: parent to ask.
+    TAIL_PROBE_ROUNDS = 2
+
+    def _arm_tail_probe(self, state: StreamState, seen: int, rounds: int) -> None:
+        self.after(self.TAIL_PROBE_DELAY, self._tail_probe, state, seen, rounds)
+
+    def _tail_probe(self, state: StreamState, seen: int, rounds: int) -> None:
+        """Quiescence check for invisible tail gaps (§II-F blind spot).
+
+        Gap recovery in ``on_brisa_data`` needs a *later* seq to arrive
+        before it can see a hole — so a lost final message orphans its
+        entire subtree silently.  This timer re-arms while the stream
+        makes progress; once quiet, it asks one parent for anything
+        beyond the contiguous prefix.  Recovered data is a first
+        reception downstream and re-enters ``_forward``, so one probe at
+        each orphaned subtree's root repairs the whole subtree.  The
+        timer stops (and the heap drains) after ``TAIL_PROBE_ROUNDS``
+        probes yield nothing new.
+        """
+        progress = len(state.delivered)
+        if progress != seen:
+            # Stream still moving — reset the probe budget and recheck.
+            self._arm_tail_probe(state, progress, 0)
+            return
+        if rounds >= self.TAIL_PROBE_ROUNDS or not state.parents:
+            return
+        parent = min(state.parents)
+        self.send(parent, bm.RetransmitRequest(state.stream, state.max_contig))
+        self._arm_tail_probe(state, progress, rounds + 1)
 
     def _maintain_parent(self, state: StreamState, src: NodeId, meta: Any) -> None:
         """Steady-state revalidation of an existing parent (§II-D, §II-G).

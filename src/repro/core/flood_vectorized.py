@@ -256,18 +256,34 @@ class VectorizedFloodKernel(SlottedFloodKernel):
         ops; fallbacks and forward scheduling run in flat batch order
         (see the module docstring for why that order is load-bearing).
         """
+        sim = self.sim
+        # Peak-backlog emulation (DESIGN.md §12): the claimed run left
+        # the heap before processing, so pushes made here see a heap
+        # short by the unprocessed remainder.  ``entry_bias`` is the
+        # engine's correction as of this sub-run's first event; per-event
+        # decrements below keep every *real* push-site check at or below
+        # the value the per-event tiers would have measured, and the
+        # end-of-wave ``note_peak`` lands the exact reference maximum.
+        entry_bias = sim.pending_bias
         if len(batch) < _SCALAR_BATCH_LIMIT:
             # Small runs: per-event scalar processing IS the reference
             # semantics, and skips the array-construction overhead.
             # Fans scheduled by the batch path carry numpy target sets;
             # hand the scalar path plain lists of python ints.
             on_fan = self.on_fan
-            for src, dsts, msg, size in batch:
+            for k, (src, dsts, msg, size) in enumerate(batch):
+                sim.pending_bias = entry_bias - k
                 if type(dsts) is not list:
                     dsts = dsts.tolist()
                 on_fan(src, dsts, msg, size)
             return
         n_events = len(batch)
+        heap = sim._heap
+        heap_base = len(heap)
+        #: Net heap pushes attributed to each event, in reference order
+        #: (fallback notices + handler sends now, forward fans at the
+        #: end); lazily allocated — zero-push waves never touch it.
+        ev_pushes = None
         dlists = [t[1] for t in batch]
         counts = np.fromiter(map(len, dlists), dtype=np.int64, count=n_events)
         total = int(counts.sum())
@@ -335,16 +351,23 @@ class VectorizedFloodKernel(SlottedFloodKernel):
             nodes = self.network.nodes
             drop = self.network._drop
             account = self.metrics.account_receive
+            ev_pushes = np.zeros(n_events, dtype=np.int64)
             for g in np.nonzero(~attached)[0].tolist():
                 e = int(ev_idx[g])
                 src, _, msg, size = batch[e]
                 dst = int(ids[g])
+                # Failure notices (and any handler sends) push with the
+                # bias of their own event; the heap-length delta charges
+                # them to that event for the end-of-wave peak replay.
+                sim.pending_bias = entry_bias - e
+                pre_len = len(heap)
                 node = nodes.get(dst)
                 if node is None or not node.alive:
                     drop(src, dst)
                 else:
                     account(dst, size)
                     node.handle_message(src, msg)
+                ev_pushes[e] += len(heap) - pre_len
 
         att_slots = slots if n_att == total else slots[attached]
         if uniform_size:
@@ -447,6 +470,7 @@ class VectorizedFloodKernel(SlottedFloodKernel):
             deliver[gidx[dmask]] = True
 
         if deliver is None:
+            self._replay_peak(heap_base, entry_bias, ev_pushes)
             return
         # Forward pass, in flat batch order across every group: heap
         # sequence numbers of the scheduled fans — and therefore the
@@ -465,6 +489,7 @@ class VectorizedFloodKernel(SlottedFloodKernel):
             d_slots = d_slots[nz]
             lens = lens[nz]
             if didx.size == 0:
+                self._replay_peak(heap_base, entry_bias, ev_pushes)
                 return
         # Concatenate the deliverers' rows and mask out each deliverer's
         # sender in one vector compare.  HyParView rows never hold
@@ -514,6 +539,11 @@ class VectorizedFloodKernel(SlottedFloodKernel):
         ko = koffs.tolist()
         fans: list[tuple] = []
         append = fans.append
+        #: Originating event per ``fans`` entry (sender-isolated
+        #: deliverers append nothing, so ``ev_idx[didx]`` cannot be used
+        #: directly for the peak replay below).
+        fan_events: list[int] = []
+        fev_append = fan_events.append
         # Deliverers arrive event-major (flat order), so the per-event
         # bindings — size, the shared forward message — are hoisted out
         # of the per-deliverer loop and rebuilt only on an event change.
@@ -545,5 +575,48 @@ class VectorizedFloodKernel(SlottedFloodKernel):
                         sent_at=now,
                     )
             append((nid, kept[a:b], fwd, size))
+            fev_append(e)
         if fans:
-            self.network.send_fan_batch_unchecked(fans, FloodData.kind)
+            # The bulk push's real peak check fires once, after every fan
+            # entry landed; pinning the bias to the *last* event keeps it
+            # at or below the per-event reference (whose last check runs
+            # with exactly that many claimed events outstanding).  The
+            # exact reference maximum is replayed below from the per-event
+            # push counts — under loss, only fans that survived masking
+            # (non-zero scheduled destinations) pushed an event.
+            sim.pending_bias = entry_bias - (n_events - 1)
+            fan_counts = self.network.send_fan_batch_unchecked(fans, FloodData.kind)
+            if ev_pushes is None:
+                ev_pushes = np.zeros(n_events, dtype=np.int64)
+            fev = np.asarray(fan_events, dtype=np.int64)
+            if fan_counts is None:
+                np.add.at(ev_pushes, fev, 1)
+            else:
+                scheduled = np.asarray(fan_counts, dtype=np.int64) > 0
+                if scheduled.any():
+                    np.add.at(ev_pushes, fev[scheduled], 1)
+        self._replay_peak(heap_base, entry_bias, ev_pushes)
+
+    def _replay_peak(self, heap_base: int, entry_bias: int, ev_pushes) -> None:
+        """Record the exact peak backlog the per-event dispatch order
+        would have measured for one drained sub-run.
+
+        The per-event tiers check the heap depth at every push: while
+        event ``k`` of the run executes, ``bias_k = entry_bias - k``
+        claimed events are still outstanding, so the run's reference
+        maximum is ``heap_base + max_k(bias_k + C_k)`` over events that
+        pushed at least once, with ``C_k`` the cumulative push count
+        through event ``k`` (within an event the last push sees the
+        full per-event total, because drops and forwards interleave per
+        destination).  Every real check made mid-batch is arranged to
+        stay at or below this value, so raising the peak to it afterward
+        reproduces the reference metric exactly.
+        """
+        if ev_pushes is None:
+            return
+        ks = np.nonzero(ev_pushes > 0)[0]
+        if ks.size == 0:
+            return
+        cum = np.cumsum(ev_pushes)
+        peak = heap_base + int((entry_bias - ks + cum[ks]).max())
+        self.sim.note_peak(peak)

@@ -217,7 +217,12 @@ def synthesize_topology_arrays(
         degrees[a] += 1
         degrees[b] += 1
         edges += 1
-    # Counting-sort the edge list into CSR rows.
+    return _assemble_csr(n, degrees, edge_a, edge_b)
+
+
+def _assemble_csr(n: int, degrees: array, edge_a: array, edge_b: array) -> CSRTopology:
+    """Counting-sort an undirected edge list into CSR rows (shared by
+    every array-backed topology synthesizer)."""
     offsets = array("q", bytes(8 * (n + 1)))
     for i in range(n):
         offsets[i + 1] = offsets[i] + degrees[i]
@@ -229,6 +234,146 @@ def synthesize_topology_arrays(
         neighbors[cursor[b]] = a
         cursor[b] += 1
     return CSRTopology(n=n, offsets=offsets, neighbors=neighbors, degrees=degrees)
+
+
+def _ring_edges(n: int) -> tuple[array, array, array, set[int]]:
+    """The Hamiltonian ring every synthesizer starts from: edge arrays, a
+    degree vector, and the packed undirected edge-key set (min*n+max)."""
+    degrees = array("i", bytes(4 * n))  # zero-initialised
+    edge_a = array("i")
+    edge_b = array("i")
+    for i in range(n):
+        j = i + 1 if i + 1 < n else 0
+        edge_a.append(i)
+        edge_b.append(j)
+        degrees[i] += 1
+        degrees[j] += 1
+    edge_keys = {i * n + (i + 1) for i in range(n - 1)}
+    edge_keys.add(n - 1)  # the wrap-around edge (0, n-1)
+    return edge_a, edge_b, degrees, edge_keys
+
+
+def synthesize_powerlaw_arrays(
+    n: int, *, degree: int, max_degree: int, rng
+) -> CSRTopology:
+    """Ring + *preferential* chords: a Barabási–Albert-style heavy-tailed
+    overlay, cap-clamped so the HyParView invariants still hold.
+
+    The Hamiltonian ring supplies connectivity and the min-degree floor
+    exactly as in :func:`synthesize_topology_arrays`; chords then attach
+    both endpoints with probability proportional to current degree (a
+    uniform draw from the edge-endpoint multiset — the classic BA
+    construction), so early hubs keep attracting edges and the degree
+    distribution grows a heavy tail *up to* ``max_degree``, where the
+    active-view cap clamps it.  One ``randrange`` pair per chord attempt,
+    identical accept/reject structure to the uniform builder, so the
+    graph is draw-for-draw deterministic in ``rng``.
+    """
+    if n < 3:
+        raise ValueError("need at least 3 nodes for a ring overlay")
+    if degree < 2:
+        raise ValueError("degree must be >= 2 (ring minimum)")
+    if max_degree < degree:
+        raise ValueError("max_degree must be >= degree")
+    edge_a, edge_b, degrees, edge_keys = _ring_edges(n)
+    # Every edge endpoint, once per incidence: drawing a uniform index
+    # here selects a node with probability proportional to its degree.
+    endpoints = array("i")
+    for a, b in zip(edge_a, edge_b):
+        endpoints.append(a)
+        endpoints.append(b)
+    edges = n
+    target_edges = (n * degree) // 2
+    attempts = 0
+    max_attempts = 20 * max(target_edges, 1)
+    randrange = rng.randrange
+    while edges < target_edges and attempts < max_attempts:
+        attempts += 1
+        a = endpoints[randrange(len(endpoints))]
+        b = endpoints[randrange(len(endpoints))]
+        if a == b or (a * n + b if a < b else b * n + a) in edge_keys:
+            continue
+        if degrees[a] >= max_degree or degrees[b] >= max_degree:
+            continue
+        edge_keys.add(a * n + b if a < b else b * n + a)
+        edge_a.append(a)
+        edge_b.append(b)
+        endpoints.append(a)
+        endpoints.append(b)
+        degrees[a] += 1
+        degrees[b] += 1
+        edges += 1
+    return _assemble_csr(n, degrees, edge_a, edge_b)
+
+
+#: Watts–Strogatz rewiring probability: the small-world sweet spot where
+#: path lengths have collapsed but clustering is still near-lattice.
+SMALLWORLD_BETA = 0.1
+
+
+def synthesize_smallworld_arrays(
+    n: int, *, degree: int, max_degree: int, rng
+) -> CSRTopology:
+    """Ring lattice + rewired shortcuts: a Watts–Strogatz-style overlay.
+
+    Each node starts connected to its ``k/2`` nearest neighbours per side
+    (``k`` = ``degree`` rounded down to even); every chord of span ≥ 2 is
+    then rewired to a uniform random endpoint with probability
+    :data:`SMALLWORLD_BETA`.  The span-1 Hamiltonian ring is *never*
+    rewired, so connectivity and the min-degree floor survive any coin
+    sequence; rewiring targets that would break the ``max_degree`` cap or
+    duplicate an edge are redrawn a bounded number of times and fall back
+    to the lattice edge.  Draw-for-draw deterministic in ``rng`` (one
+    coin per lattice chord, bounded redraws per rewire).
+    """
+    k = degree - (degree % 2)
+    if k < 4:
+        raise ValueError(
+            "smallworld topology needs degree >= 4 (an even lattice degree "
+            "of at least 4; the span-1 ring alone is not small-world)"
+        )
+    if max_degree < degree:
+        raise ValueError("max_degree must be >= degree")
+    if n <= k:
+        raise ValueError(f"need more than degree={k} nodes for a ring lattice")
+    edge_a, edge_b, degrees, edge_keys = _ring_edges(n)
+    random_ = rng.random
+    randrange = rng.randrange
+    for span in range(2, k // 2 + 1):
+        for i in range(n):
+            b = i + span if i + span < n else i + span - n
+            if random_() < SMALLWORLD_BETA:
+                for _ in range(8):
+                    t = randrange(n)
+                    if (
+                        t == i
+                        or (i * n + t if i < t else t * n + i) in edge_keys
+                        or degrees[t] >= max_degree
+                    ):
+                        continue
+                    b = t
+                    break
+            key = i * n + b if i < b else b * n + i
+            if key in edge_keys or degrees[i] >= max_degree or degrees[b] >= max_degree:
+                # A shortcut landed here first and used up the headroom;
+                # dropping the lattice edge is the cap-respecting choice.
+                continue
+            edge_keys.add(key)
+            edge_a.append(i)
+            edge_b.append(b)
+            degrees[i] += 1
+            degrees[b] += 1
+    return _assemble_csr(n, degrees, edge_a, edge_b)
+
+
+#: Topology classes selectable through ``repro scale --topology`` — all
+#: cap-clamped, ring-seeded (connected, min degree ≥ 2) and draw-for-draw
+#: deterministic, so they are interchangeable under one HyParView config.
+TOPOLOGY_BUILDERS = {
+    "uniform": synthesize_topology_arrays,
+    "powerlaw": synthesize_powerlaw_arrays,
+    "smallworld": synthesize_smallworld_arrays,
+}
 
 
 def synthesize_passive_arrays(
@@ -278,17 +423,19 @@ def _require_hyparview(nodes) -> None:
 
 
 def synthesize_overlay(
-    nodes, network, *, rng, degree: int | None = None
+    nodes, network, *, rng, degree: int | None = None, topology: str = "uniform"
 ) -> CSRTopology:
     """Build and install a HyParView-convergent overlay over ``nodes``.
 
     ``nodes`` are already-spawned (fresh, empty-view) HyParView-stack
     nodes; ``rng`` drives the topology draw (derive it from the
     simulation seed for reproducible overlays).  The topology comes from
-    the array-backed synthesizer (flat CSR arrays, DESIGN.md §8) and is
-    wired in bulk: per-node view installation through
-    :meth:`HyParViewNode.install_overlay`'s fresh-node fast path, link
-    registration through one :meth:`Network.register_links_csr` pass.
+    the array-backed synthesizer for ``topology`` (one of
+    :data:`TOPOLOGY_BUILDERS` — uniform ring+chords, Barabási–Albert-style
+    power-law, or Watts–Strogatz-style small-world; flat CSR arrays,
+    DESIGN.md §8/§14) and is wired in bulk: per-node view installation
+    through :meth:`HyParViewNode.install_overlay`'s fresh-node fast path,
+    link registration through one :meth:`Network.register_links_csr` pass.
 
     Returns the installed :class:`CSRTopology` so array-backed consumers
     (the slotted flood kernel's fan-out rows, DESIGN.md §9) can reuse the
@@ -307,9 +454,13 @@ def synthesize_overlay(
             f"{hpv.max_active}; size HyParViewConfig.active_size/"
             f"expansion_factor accordingly"
         )
-    topo = synthesize_topology_arrays(
-        n, degree=degree, max_degree=hpv.max_active, rng=rng
-    )
+    builder = TOPOLOGY_BUILDERS.get(topology)
+    if builder is None:
+        raise ValueError(
+            f"unknown topology {topology!r} "
+            f"(choose from {', '.join(sorted(TOPOLOGY_BUILDERS))})"
+        )
+    topo = builder(n, degree=degree, max_degree=hpv.max_active, rng=rng)
     p_offsets, p_entries = synthesize_passive_arrays(
         n, topo, size=hpv.passive_size, rng=rng
     )

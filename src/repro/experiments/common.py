@@ -37,6 +37,7 @@ class Testbed:
         latency: Optional[LatencyModel] = None,
         keepalive_period: float = 1.0,
         record_deliveries: bool = True,
+        loss_percent: float = 0.0,
     ) -> None:
         self.sim = Simulator(seed=seed)
         self.metrics = Metrics(record_deliveries=record_deliveries)
@@ -45,6 +46,7 @@ class Testbed:
             latency if latency is not None else ClusterLatency(seed=seed),
             self.metrics,
             keepalive_period=keepalive_period,
+            loss_percent=loss_percent,
         )
         self.nodes: list = []
         #: CSRTopology of the last synthesized bootstrap (None otherwise);
@@ -67,6 +69,7 @@ class Testbed:
         join_first: bool = False,
         bootstrap: "str | object" = "simulated",
         degree: Optional[int] = None,
+        topology: str = "uniform",
         validate: bool = False,
         defer_timers: bool = False,
     ) -> "Testbed":
@@ -105,6 +108,12 @@ class Testbed:
                 "degree only applies to synthesized bootstraps; the "
                 "simulated join ramp converges on HyParViewConfig alone"
             )
+        if bootstrap == "simulated" and topology != "uniform":
+            raise ValueError(
+                "--topology applies to synthesized bootstraps only; the "
+                "simulated join ramp always converges on the HyParView-"
+                "uniform overlay"
+            )
         if bootstrap != "simulated":
             if join_first:
                 raise ValueError(
@@ -112,7 +121,7 @@ class Testbed:
                     "joins (join_first)"
                 )
             return self._populate_direct(
-                n, factory, bootstrap, degree, validate, defer_timers
+                n, factory, bootstrap, degree, topology, validate, defer_timers
             )
         if defer_timers:
             # The ramp needs live timers: shuffle integration re-arms
@@ -142,12 +151,18 @@ class Testbed:
         factory: NodeFactory,
         bootstrap: "str | object",
         degree: Optional[int],
+        topology: str,
         validate: bool,
         defer_timers: bool,
     ) -> "Testbed":
         """Synthesized or checkpoint-restored population (no join ramp)."""
         checkpoint = None
         if bootstrap != "synthesized":
+            if topology != "uniform":
+                raise ValueError(
+                    "--topology applies to synthesized bootstraps only; a "
+                    "checkpoint already fixes the overlay shape"
+                )
             # Load (and size-check) before spawning anything: a bad
             # checkpoint must not leave orphan nodes with live shuffle
             # timers registered in the network.
@@ -168,7 +183,8 @@ class Testbed:
             spawned = network.spawn_many(factory, n)
         if checkpoint is None:
             self.last_topology = bootstrap_mod.synthesize_overlay(
-                spawned, network, rng=self.sim.rng("synth-overlay"), degree=degree
+                spawned, network, rng=self.sim.rng("synth-overlay"),
+                degree=degree, topology=topology,
             )
         else:
             bootstrap_mod.install_checkpoint(spawned, network, checkpoint)

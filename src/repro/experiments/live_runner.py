@@ -48,6 +48,11 @@ from repro.experiments import bootstrap as bootstrap_mod
 from repro.ids import NodeId
 from repro.sim.rng import derive
 
+#: Default bind/connect host for the control socket and the node address
+#: table.  Overridable per run via ``LiveSpec.control_host`` (CLI
+#: ``--control-host``) so coordinator and workers can sit on different
+#: hosts — the address table and control protocol already carry
+#: host:port everywhere.
 CONTROL_HOST = "127.0.0.1"
 
 #: Poll cadence of the coordinator's quiescence loop (seconds).
@@ -77,10 +82,17 @@ class LiveSpec:
     #: Existing overlay checkpoint to restore; None synthesizes one.
     checkpoint: "str | None" = None
     cross_check: bool = True
+    #: Host the coordinator binds its control socket on (and advertises
+    #: in the node address table).  The localhost default keeps the
+    #: single-machine smoke unchanged; a routable address lets workers
+    #: run on other hosts.
+    control_host: str = CONTROL_HOST
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ValueError("need at least one worker process")
+        if not self.control_host:
+            raise ValueError("control_host must be a non-empty host/address")
         if self.nodes < max(3, self.workers):
             raise ValueError("need >= 3 nodes and >= 1 node per worker")
         if self.streams < 1 or self.messages < 1:
@@ -339,7 +351,7 @@ def run_live(spec: LiveSpec, *, json_path: "str | None" = None) -> LiveOutcome:
 
     listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
     listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-    listener.bind((CONTROL_HOST, 0))
+    listener.bind((spec.control_host, 0))
     listener.listen(spec.workers)
     control_port = listener.getsockname()[1]
 
@@ -354,7 +366,7 @@ def run_live(spec: LiveSpec, *, json_path: "str | None" = None) -> LiveOutcome:
     procs = [
         ctx.Process(
             target=_worker_main,
-            args=(w, CONTROL_HOST, control_port),
+            args=(w, spec.control_host, control_port),
             daemon=True,
             name=f"live-worker-{w}",
         )
@@ -385,7 +397,7 @@ def run_live(spec: LiveSpec, *, json_path: "str | None" = None) -> LiveOutcome:
         addrs = {}
         for w, block in enumerate(blocks):
             for nid in block:
-                addrs[str(nid)] = [CONTROL_HOST, conns[w].udp_port]
+                addrs[str(nid)] = [spec.control_host, conns[w].udp_port]
 
         epoch = time.monotonic()
         for w, conn in enumerate(conns):

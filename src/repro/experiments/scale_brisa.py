@@ -73,6 +73,12 @@ class ScaleBrisaResult:
     handle_pool_size: int
     #: Concurrent publishers (stream ``i`` driven by source ``i``).
     streams: int = 1
+    #: Overlay topology class the run disseminated over.
+    topology: str = "uniform"
+    #: Per-link loss rate applied by the delivery layer (percent).
+    loss_percent: float = 0.0
+    #: Sends the loss model discarded (0 on lossless links).
+    dropped_loss: int = 0
     #: Per-stream outcomes (``StreamOutcome.to_dict`` rows), including
     #: each stream's §II-B structure invariant.
     per_stream: list = field(default_factory=list)
@@ -99,6 +105,11 @@ class ScaleBrisaResult:
             f"receptions: {self.receptions:,} ({self.receptions_per_sec:,.0f}/s)",
             f"peak heap: {self.peak_pending:,}   handle pool: {self.handle_pool_size:,}",
         ]
+        if self.topology != "uniform" or self.loss_percent:
+            line = f"topology: {self.topology}   link loss: {self.loss_percent:g}%"
+            if self.loss_percent:
+                line += f" ({self.dropped_loss:,} sends dropped)"
+            lines.insert(1, line)
         if self.streams > 1:
             lines.append("per-stream delivery + structure:")
             lines.append(outcomes_summary(self.per_stream, indent="  "))
@@ -131,6 +142,8 @@ def run_scale_brisa(
     settle: float = 45.0,
     streams: int = 1,
     kernel: str = "object",
+    topology: str = "uniform",
+    loss_percent: float = 0.0,
 ) -> ScaleBrisaResult:
     """Run the full BRISA stack over a ``nodes``-population overlay.
 
@@ -157,7 +170,15 @@ def run_scale_brisa(
         raise ValueError(
             f"unknown BRISA kernel {kernel!r} (expected 'object' or 'slotted')"
         )
-    cfg = config if config is not None else BrisaConfig(mode=mode)
+    # Lossy links make §II-F's blind spot real: a lost final message
+    # orphans a subtree with no later traffic to reveal the gap.  The
+    # quiescence tail probe (DESIGN.md §14) closes it, so lossy runs get
+    # it by default; lossless runs skip the extra probe traffic.
+    cfg = (
+        config
+        if config is not None
+        else BrisaConfig(mode=mode, tail_probe=loss_percent > 0)
+    )
     if degree is not None and hpv_config is None:
         # Same idiom as build_static_flood_overlay: size the membership
         # config so the requested degree is legal under the protocol's
@@ -167,6 +188,7 @@ def run_scale_brisa(
         seed=seed,
         latency=latency if latency is not None else ConstantLatency(0.001, seed=seed),
         record_deliveries=False,
+        loss_percent=loss_percent,
     )
     slot_kernel = None
     if kernel == "slotted":
@@ -189,6 +211,7 @@ def run_scale_brisa(
             brisa_factory(cfg, hpv_config, kernel=slot_kernel),
             bootstrap=bootstrap,
             degree=degree,
+            topology=topology,
             join_spacing=join_spacing,
             settle=settle,
             validate=True,
@@ -263,6 +286,9 @@ def run_scale_brisa(
         peak_pending=bed.sim.peak_pending,
         handle_pool_size=bed.sim.pool_size,
         streams=streams,
+        topology=topology,
+        loss_percent=loss_percent,
+        dropped_loss=bed.metrics.counters.get("dropped_loss", 0),
         per_stream=[o.to_dict() for o in outcomes],
         relay_spread=relay_spread,
     )

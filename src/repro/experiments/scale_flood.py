@@ -96,6 +96,12 @@ class ScaleFloodResult:
     survivors: int = 0
     #: Concurrent publishers (stream ``i`` driven by source ``i``).
     streams: int = 1
+    #: Overlay topology class the run disseminated over.
+    topology: str = "uniform"
+    #: Per-link loss rate applied by the delivery layer (percent).
+    loss_percent: float = 0.0
+    #: Sends the loss model discarded (``dropped_loss`` counter).
+    dropped_loss: int = 0
     #: Per-stream outcomes (``StreamOutcome.to_dict`` rows) when the run
     #: drove more than one stream.
     per_stream: list = field(default_factory=list)
@@ -114,6 +120,11 @@ class ScaleFloodResult:
             f"receptions: {self.receptions:,} ({self.receptions_per_sec:,.0f}/s)",
             f"peak heap: {self.peak_pending:,}   handle pool: {self.handle_pool_size:,}",
         ]
+        if self.topology != "uniform" or self.loss_percent:
+            line = f"topology: {self.topology}   link loss: {self.loss_percent:g}%"
+            if self.loss_percent:
+                line += f" ({self.dropped_loss:,} sends dropped)"
+            lines.insert(1, line)
         if self.streams > 1:
             lines.append("per-stream delivery:")
             lines.append(outcomes_summary(self.per_stream, indent="  "))
@@ -134,6 +145,8 @@ def build_static_flood_overlay(
     record_deliveries: bool = False,
     shuffles: bool = False,
     kernel: str = "object",
+    topology: str = "uniform",
+    loss_percent: float = 0.0,
 ) -> tuple[Simulator, Network, list[FloodNode]]:
     """Spawn ``n`` flood nodes pre-wired into a connected random overlay.
 
@@ -162,6 +175,7 @@ def build_static_flood_overlay(
         sim,
         latency if latency is not None else ConstantLatency(0.001, seed=seed),
         Metrics(record_deliveries=record_deliveries),
+        loss_percent=loss_percent,
     )
     # The static views may exceed HyParView's default cap; size the config
     # so the synthesized wiring is legal under the protocol's own limits.
@@ -183,7 +197,10 @@ def build_static_flood_overlay(
     if slot_kernel is not None:
         slot_kernel.bulk_rows = True
     try:
-        topo = synthesize_overlay(nodes, net, rng=sim.rng("static-overlay"), degree=degree)
+        topo = synthesize_overlay(
+            nodes, net, rng=sim.rng("static-overlay"), degree=degree,
+            topology=topology,
+        )
     finally:
         if slot_kernel is not None:
             slot_kernel.bulk_rows = False
@@ -234,6 +251,8 @@ def run_scale_flood(
     churn_percent: float = 0.0,
     churn_replacement: float = 1.0,
     streams: int = 1,
+    topology: str = "uniform",
+    loss_percent: float = 0.0,
 ) -> ScaleFloodResult:
     """Disseminate ``streams`` concurrent flood streams of ``messages``
     messages each over a ``nodes``-population static overlay and measure
@@ -260,7 +279,8 @@ def run_scale_flood(
     if churn_replacement < 0.0:
         raise ValueError("churn_replacement must be >= 0")
     sim, net, flood_nodes = build_static_flood_overlay(
-        nodes, degree=degree, seed=seed, latency=latency, kernel=kernel
+        nodes, degree=degree, seed=seed, latency=latency, kernel=kernel,
+        topology=topology, loss_percent=loss_percent,
     )
     sources = spread_sources(flood_nodes, streams)
     runner = ScaleRunner(
@@ -338,6 +358,9 @@ def run_scale_flood(
         joins=driver.stats.joins if driver else 0,
         survivors=outcomes[0].receivers,
         streams=streams,
+        topology=topology,
+        loss_percent=loss_percent,
+        dropped_loss=net.metrics.counters.get("dropped_loss", 0),
         per_stream=[o.to_dict() for o in outcomes],
     )
 
@@ -693,18 +716,25 @@ def slotted_microbench(
     simulation — so the reception count must match exactly (verified
     here; the full parity surface is pinned by
     tests/test_slotted_parity.py).  The best of ``repeats`` runs is kept
-    per side.
+    per side.  The timed runs freeze the caller's surviving heap out of
+    the collector, for the same ratio-deflation reason documented on
+    :func:`vectorized_microbench`.
     """
+
+    def one(kernel: str) -> ScaleFloodResult:
+        gc.collect()
+        gc.freeze()
+        try:
+            return run_scale_flood(
+                nodes, messages, degree=degree, rate=rate, seed=seed,
+                kernel=kernel,
+            )
+        finally:
+            gc.unfreeze()
 
     def best(kernel: str) -> ScaleFloodResult:
         return max(
-            (
-                run_scale_flood(
-                    nodes, messages, degree=degree, rate=rate, seed=seed,
-                    kernel=kernel,
-                )
-                for _ in range(repeats)
-            ),
+            (one(kernel) for _ in range(repeats)),
             key=lambda r: r.receptions_per_sec,
         )
 

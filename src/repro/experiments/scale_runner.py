@@ -81,10 +81,16 @@ class RunSpec:
     bootstrap: Optional[str] = None
     #: Flood only: percentage of the population churned during the stream.
     churn_percent: Optional[float] = None
+    #: Overlay topology class (``uniform`` | ``powerlaw`` | ``smallworld``).
+    topology: str = "uniform"
+    #: Per-link loss rate applied by the delivery layer (percent).
+    loss_percent: float = 0.0
 
     def validate(self) -> None:
-        if self.stack not in ("flood", "brisa"):
-            raise ValueError(f"unknown stack {self.stack!r}; known: brisa, flood")
+        if self.stack not in ("flood", "brisa", "pull"):
+            raise ValueError(
+                f"unknown stack {self.stack!r}; known: brisa, flood, pull"
+            )
         if self.stack != "brisa":
             # A forgotten stack='brisa' must not silently benchmark the
             # flood stack while ignoring the BRISA-only knobs that were
@@ -99,6 +105,23 @@ class RunSpec:
                 "--churn applies to the flood stack only "
                 "(BRISA churn runs through the repair scenarios)"
             )
+        if self.stack == "pull":
+            if self.churn_percent is not None:
+                raise ValueError("--churn applies to the flood stack only")
+            if self.kernel not in (None, "object"):
+                raise ValueError(
+                    "the pull stack runs on the object kernel only "
+                    "(recovery is timer-driven, off the fan-out hot path)"
+                )
+        from repro.experiments.bootstrap import TOPOLOGY_BUILDERS
+
+        if self.topology not in TOPOLOGY_BUILDERS:
+            known = ", ".join(sorted(TOPOLOGY_BUILDERS))
+            raise ValueError(
+                f"unknown topology {self.topology!r}; known: {known}"
+            )
+        if not 0.0 <= self.loss_percent < 100.0:
+            raise ValueError("--loss must be in [0, 100)")
         if self.nodes is not None and self.nodes < 1:
             raise ValueError("nodes must be >= 1")
         validate_workload(self.messages, self.rate, self.streams, self.nodes)

@@ -74,6 +74,10 @@ from repro.experiments.scale_flood import (
     slotted_microbench,
     vectorized_microbench,
 )
+from repro.experiments.scale_pull import (
+    build_static_pull_overlay,
+    run_scale_pull,
+)
 from repro.experiments.scale_runner import (
     RunSpec,
     ScaleRunner,
@@ -118,6 +122,20 @@ def run_spec(spec: RunSpec):
             settle=scale.settle,
             streams=spec.streams,
             kernel=spec.kernel if spec.kernel is not None else "object",
+            topology=spec.topology,
+            loss_percent=spec.loss_percent,
+        )
+    if spec.stack == "pull":
+        return run_scale_pull(
+            nodes,
+            spec.messages,
+            degree=spec.degree if spec.degree is not None else 5,
+            rate=spec.rate,
+            payload_bytes=spec.payload_bytes,
+            seed=spec.seed,
+            streams=spec.streams,
+            topology=spec.topology,
+            loss_percent=spec.loss_percent,
         )
     return run_scale_flood(
         nodes,
@@ -129,6 +147,8 @@ def run_spec(spec: RunSpec):
         kernel=spec.kernel if spec.kernel is not None else "object",
         churn_percent=spec.churn_percent if spec.churn_percent is not None else 0.0,
         streams=spec.streams,
+        topology=spec.topology,
+        loss_percent=spec.loss_percent,
     )
 
 
@@ -167,10 +187,12 @@ __all__ = [
     "bootstrap_comparison",
     "brisa_slotted_microbench",
     "build_static_flood_overlay",
+    "build_static_pull_overlay",
     "engine_microbench",
     "occupancy_microbench",
     "run_scale_brisa",
     "run_scale_flood",
+    "run_scale_pull",
     "Table1Result",
     "Table1Row",
     "Table2Result",

@@ -84,6 +84,15 @@ class Simulator:
         self._batch_drains: dict[Callable, Callable] = {}
         #: Largest heap size ever observed (peak scheduled backlog).
         self.peak_pending = 0
+        #: Batch-drain correction for :attr:`peak_pending` (DESIGN.md
+        #: §12): a claimed same-time run is popped from the heap *before*
+        #: its events are processed, so pushes made while draining see a
+        #: heap that is short by the not-yet-processed remainder of the
+        #: run.  The run loops set this to that remainder (and drain
+        #: clients may lower it as they advance through the batch) so the
+        #: push-site peak checks measure the same backlog the per-event
+        #: tiers would.  Zero outside a drain call.
+        self.pending_bias = 0
 
     # ------------------------------------------------------------------
     # Randomness
@@ -111,8 +120,9 @@ class Simulator:
         self._seq += 1
         heap = self._heap
         heapq.heappush(heap, (time, self._seq, handle))
-        if len(heap) > self.peak_pending:
-            self.peak_pending = len(heap)
+        depth = len(heap) + self.pending_bias
+        if depth > self.peak_pending:
+            self.peak_pending = depth
         return handle
 
     # ------------------------------------------------------------------
@@ -143,8 +153,9 @@ class Simulator:
         self._seq += 1
         heap = self._heap
         heapq.heappush(heap, (time, self._seq, handle))
-        if len(heap) > self.peak_pending:
-            self.peak_pending = len(heap)
+        depth = len(heap) + self.pending_bias
+        if depth > self.peak_pending:
+            self.peak_pending = depth
 
     def call_at_many(self, time: float, fn: Callable, argss: list[tuple]) -> None:
         """Bulk :meth:`call_at`: one pooled ``fn(*args)`` event per entry
@@ -173,8 +184,21 @@ class Simulator:
             seq += 1
             push(heap, (time, seq, handle))
         self._seq = seq
-        if len(heap) > self.peak_pending:
-            self.peak_pending = len(heap)
+        depth = len(heap) + self.pending_bias
+        if depth > self.peak_pending:
+            self.peak_pending = depth
+
+    def note_peak(self, depth: int) -> None:
+        """Raise :attr:`peak_pending` to ``depth`` if it is larger.
+
+        Batch-drain clients that reorder a claimed run's pushes (the
+        vectorized kernel's wave-at-a-time forward pass, DESIGN.md §12)
+        use this to record the backlog maximum the per-event dispatch
+        order would have produced; the regular push-site checks are
+        arranged never to exceed that reference value mid-batch.
+        """
+        if depth > self.peak_pending:
+            self.peak_pending = depth
 
     # ------------------------------------------------------------------
     # Scheduling — batch-drain tier (whole same-arrival event runs)
@@ -267,7 +291,17 @@ class Simulator:
                             nxt.fn = None
                             nxt.args = ()
                             free_append(nxt)
-                        drain(batch)
+                        # The whole run left the heap in one claim; the
+                        # bias keeps push-site peak checks seeing the
+                        # unprocessed remainder (drain clients lower it
+                        # as they advance).  Reset unconditionally: a
+                        # drain that raised mid-batch must not poison
+                        # later measurements.
+                        self.pending_bias = len(batch) - 1
+                        try:
+                            drain(batch)
+                        finally:
+                            self.pending_bias = 0
                         processed += len(batch)
                         continue
                     fn(*args)
@@ -333,7 +367,11 @@ class Simulator:
                             nxt.fn = None
                             nxt.args = ()
                             free_append(nxt)
-                        drain(batch)
+                        self.pending_bias = len(batch) - 1
+                        try:
+                            drain(batch)
+                        finally:
+                            self.pending_bias = 0
                         processed += len(batch)
                         continue
                     fn(*args)

@@ -55,7 +55,10 @@ class Network:
         *,
         keepalive_period: float = 1.0,
         capacity_sigma: float = 0.5,
+        loss_percent: float = 0.0,
     ) -> None:
+        if not 0.0 <= loss_percent < 100.0:
+            raise ValueError(f"loss_percent must be in [0, 100), got {loss_percent}")
         self.sim = sim
         #: The runtime-seam name for the time source (DESIGN.md §13):
         #: ``Network`` doubles as the simulator's ``MessageTransport``
@@ -78,6 +81,16 @@ class Network:
         #: stays bounded under arbitrarily long churn runs.
         self._notified: set[tuple[NodeId, NodeId]] = set()
         self._rng = derive(sim.seed, "network")
+        #: Per-link loss model (DESIGN.md §14): each (message, destination)
+        #: pair flips one independent coin on its *own* RNG stream —
+        #: ``derive(seed, "loss")`` — so enabling loss never perturbs the
+        #: latency or protocol draws of an identically-seeded run.  Draws
+        #: happen at send time, per destination in destination order,
+        #: *after* any latency sampling for that destination; a lost
+        #: message is fully accounted as sent (the sender transmitted it)
+        #: but never scheduled for delivery.
+        self._loss_rate = loss_percent / 100.0
+        self._loss_rng = derive(sim.seed, "loss") if loss_percent > 0.0 else None
         self._capacities: dict[NodeId, float] = {}
         #: Observers called as fn(node_id) after a crash is applied.
         self.crash_listeners: list[Callable[[NodeId], None]] = []
@@ -424,15 +437,33 @@ class Network:
         size = msg.size_bytes()
         self.metrics.account_send(src, msg.kind, size)
         sim = self.sim
+        loss_rng = self._loss_rng
         if self._fast_delivery:
             delay = self.latency.uniform_delay
             if delay is None:
-                arrival = self._fifo_clamp(src, dst, sim.now + self.latency.sample(src, dst))
-                sim.call_at(arrival, self._deliver_fast, src, dst, msg, size)
+                # Latency is sampled before the loss coin so the latency
+                # stream consumes identical draws with loss on or off; a
+                # lost message skips only the FIFO clamp (it never
+                # arrives) and the delivery event.
+                arrival = sim.now + self.latency.sample(src, dst)
+                if loss_rng is not None and loss_rng.random() < self._loss_rate:
+                    self._drop_lost(1)
+                    return
+                sim.call_at(
+                    self._fifo_clamp(src, dst, arrival), self._deliver_fast, src, dst, msg, size
+                )
+                return
+            if loss_rng is not None and loss_rng.random() < self._loss_rate:
+                self._drop_lost(1)
                 return
             sim.call_at(sim.now + delay, self._deliver_fast, src, dst, msg, size)
             return
+        # The sender's NIC transmitted the frame either way: occupancy is
+        # charged before the loss coin decides the link's fate.
         arrival = self._enqueue_tx(src, size) + self.latency.sample(src, dst)
+        if loss_rng is not None and loss_rng.random() < self._loss_rate:
+            self._drop_lost(1)
+            return
         if self._fifo_order:
             arrival = self._fifo_clamp(src, dst, arrival)
         sim.call_at(arrival, self._deliver, src, dst, msg, size)
@@ -481,22 +512,41 @@ class Network:
         if src in targets:
             raise SimulationError(f"node {src} attempted to message itself")
         size = msg.size_bytes()
+        # Accounting covers every destination, masked or not: the sender
+        # transmitted the bytes; loss happens on the link.
+        n_sent = len(targets)
         sim = self.sim
+        loss_rng = self._loss_rng
+        rate = self._loss_rate
         if self._fast_delivery:
             uniform = self.latency.uniform_delay
             if uniform is not None:
                 # Every recipient sees the same arrival time: the whole
                 # fan-out rides one heap event (delivery order within the
                 # timestamp matches the per-peer FIFO order it replaces).
-                sim.call_at(sim.now + uniform, self._deliver_fan, src, targets, msg, size)
+                # Loss prunes destinations before the event is scheduled
+                # (one coin per destination, in destination order), so a
+                # fully-lost fan-out schedules nothing at all — the same
+                # event-set reduction every delivery kernel sees.
+                if loss_rng is not None:
+                    targets = self._mask_lost(targets)
+                if targets:
+                    sim.call_at(sim.now + uniform, self._deliver_fan, src, targets, msg, size)
             else:
                 now = sim.now
                 sample = self.latency.sample
                 call_at = sim.call_at
                 deliver = self._deliver_fast
                 clamp = self._fifo_clamp
+                lost = 0
                 for dst in targets:
-                    call_at(clamp(src, dst, now + sample(src, dst)), deliver, src, dst, msg, size)
+                    arrival = now + sample(src, dst)
+                    if loss_rng is not None and loss_rng.random() < rate:
+                        lost += 1
+                        continue
+                    call_at(clamp(src, dst, arrival), deliver, src, dst, msg, size)
+                if lost:
+                    self._drop_lost(lost)
         elif self._batch_occupancy:
             # Occupancy-fused fan-out (DESIGN.md §8): every transmission
             # of the batch lands on the same sender horizon, so the
@@ -514,38 +564,66 @@ class Network:
                     # Free sender + uniform propagation: all arrivals
                     # coincide, so the whole fan-out rides one heap event
                     # that also batches the receiver-side queue charges.
-                    call_at(now + uniform, self._deliver_occ_fan, src, targets, msg, size)
+                    if loss_rng is not None:
+                        targets = self._mask_lost(targets)
+                    if targets:
+                        call_at(now + uniform, self._deliver_occ_fan, src, targets, msg, size)
                 else:
                     sample = latency.sample
                     clamp = self._fifo_clamp
+                    lost = 0
                     for dst in targets:
-                        call_at(clamp(src, dst, now + sample(src, dst)), deliver, src, dst, msg, size)
+                        arrival = now + sample(src, dst)
+                        if loss_rng is not None and loss_rng.random() < rate:
+                            lost += 1
+                            continue
+                        call_at(clamp(src, dst, arrival), deliver, src, dst, msg, size)
+                    if lost:
+                        self._drop_lost(lost)
             else:
+                # Lost transmissions still roll the sender horizon: the
+                # NIC serialized the frame before the link dropped it.
                 busy = self._busy.get(src, now)
                 tx_done = busy if busy > now else now
+                lost = 0
                 if uniform is not None:
                     # Arrivals strictly increase in send order: FIFO by
                     # construction, one heap push per distinct arrival.
                     for dst in targets:
                         tx_done += tx_cost
+                        if loss_rng is not None and loss_rng.random() < rate:
+                            lost += 1
+                            continue
                         call_at(tx_done + uniform, deliver, src, dst, msg, size)
                 else:
                     sample = latency.sample
                     clamp = self._fifo_clamp
                     for dst in targets:
                         tx_done += tx_cost
-                        call_at(clamp(src, dst, tx_done + sample(src, dst)), deliver, src, dst, msg, size)
+                        arrival = tx_done + sample(src, dst)
+                        if loss_rng is not None and loss_rng.random() < rate:
+                            lost += 1
+                            continue
+                        call_at(clamp(src, dst, arrival), deliver, src, dst, msg, size)
                 self._busy[src] = tx_done
+                if lost:
+                    self._drop_lost(lost)
         else:
             # Sampled per-message occupancy costs: full queueing chain.
             clamp = self._fifo_clamp if self._fifo_order else None
+            lost = 0
             for dst in targets:
                 arrival = self._enqueue_tx(src, size) + self.latency.sample(src, dst)
+                if loss_rng is not None and loss_rng.random() < rate:
+                    lost += 1
+                    continue
                 if clamp is not None:
                     arrival = clamp(src, dst, arrival)
                 sim.call_at(arrival, self._deliver, src, dst, msg, size)
-        self.metrics.account_send_many(src, msg.kind, size, len(targets))
-        return len(targets)
+            if lost:
+                self._drop_lost(lost)
+        self.metrics.account_send_many(src, msg.kind, size, n_sent)
+        return n_sent
 
     def _deliver_fast(self, src: NodeId, dst: NodeId, msg: Message, size: int) -> None:
         """Fused delivery for zero-occupancy models: one node lookup, no
@@ -567,13 +645,17 @@ class Network:
         self-sends, a non-empty snapshot list it will not mutate — and
         supplies the precomputed ``size``.  Kept on the Network so the
         checked and unchecked paths evolve in lockstep."""
-        sim = self.sim
-        sim.call_at(
-            sim.now + self.latency.uniform_delay, self._deliver_fan, src, dsts, msg, size
-        )
-        self.metrics.account_send_many(src, msg.kind, size, len(dsts))
+        n_sent = len(dsts)
+        if self._loss_rng is not None:
+            dsts = self._mask_lost(dsts)
+        if dsts:
+            sim = self.sim
+            sim.call_at(
+                sim.now + self.latency.uniform_delay, self._deliver_fan, src, dsts, msg, size
+            )
+        self.metrics.account_send_many(src, msg.kind, size, n_sent)
 
-    def send_fan_batch_unchecked(self, fans: list[tuple], kind: str) -> None:
+    def send_fan_batch_unchecked(self, fans: list[tuple], kind: str) -> "list[int] | None":
         """Bulk :meth:`send_fan_unchecked`: schedule one fused fan event
         per ``(src, dsts, msg, size)`` entry of ``fans`` — all of one
         message ``kind``, all arriving together — in list order, with one
@@ -581,12 +663,38 @@ class Network:
         :meth:`send_fan_unchecked` once per entry (same heap state, same
         Metrics totals); one frame per dissemination wave instead of one
         per forwarder (the vectorized kernel's forward path, DESIGN.md
-        §12)."""
+        §12).
+
+        Under loss, each fan's destinations are masked in list order —
+        the same per-destination coin sequence the per-entry path draws —
+        and fully-lost fans schedule no event.  Returns ``None`` when
+        every entry was scheduled unmasked (the lossless fast path), else
+        a list aligned with ``fans`` giving the number of destinations
+        actually scheduled per entry (0 = no event), so the caller can
+        reconstruct the per-event push counts the per-entry path would
+        have produced (peak-backlog emulation, DESIGN.md §12).
+        """
         sim = self.sim
-        sim.call_at_many(
-            sim.now + self.latency.uniform_delay, self._deliver_fan, fans
-        )
+        if self._loss_rng is None:
+            sim.call_at_many(
+                sim.now + self.latency.uniform_delay, self._deliver_fan, fans
+            )
+            self.metrics.account_fan_sends(kind, fans)
+            return None
+        mask = self._mask_lost
+        pushed: list[tuple] = []
+        counts: list[int] = []
+        for fan in fans:
+            kept = mask(fan[1])
+            counts.append(len(kept))
+            if kept:
+                pushed.append((fan[0], kept, fan[2], fan[3]))
+        if pushed:
+            sim.call_at_many(
+                sim.now + self.latency.uniform_delay, self._deliver_fan, pushed
+            )
         self.metrics.account_fan_sends(kind, fans)
+        return counts
 
     def register_fan_sink(
         self,
@@ -662,11 +770,19 @@ class Network:
         """
         sinks = self._batch_fan_sinks
         deliver = self._deliver_fan
+        sim = self.sim
         i = 0
         n = len(batch)
         while i < n:
             kind = batch[i][2].kind
             bsink = sinks.get(kind)
+            # Keep the engine's peak-backlog bias exact as the claimed run
+            # is consumed: event ``i`` runs with ``n - 1 - i`` claimed
+            # events still unprocessed — precisely what the per-event
+            # tiers would have left sitting in the heap.  A batch sink
+            # inherits the bias of its sub-run's first event and lowers
+            # it itself as it advances (DESIGN.md §12).
+            sim.pending_bias = n - 1 - i
             if bsink is None:
                 deliver(*batch[i])
                 i += 1
@@ -735,6 +851,7 @@ class Network:
             node = nodes.get(dst)
             if node is None or not node.alive:
                 # Crashed while the message sat in its receive queue.
+                incr("dropped_crash")
                 incr("dropped")
                 continue
             account(dst, size)
@@ -758,6 +875,7 @@ class Network:
         node = self.nodes.get(dst)
         if node is None or not node.alive:
             # Crashed while the message sat in its receive queue.
+            self.metrics.incr("dropped_crash")
             self.metrics.incr("dropped")
             return
         self.metrics.account_receive(dst, size)
@@ -766,11 +884,33 @@ class Network:
     def _drop(self, src: NodeId, dst: NodeId) -> None:
         """A message reached a dead endpoint: count it and emulate the
         TCP reset — a sender holding an open connection learns of the
-        failure through the regular detection path."""
+        failure through the regular detection path.
+
+        Crash-time drops and link-loss drops are separate counters
+        (``dropped_crash`` / ``dropped_loss``) so loss-rate experiments
+        never misattribute churn casualties; ``dropped`` stays their sum
+        for bench-compare continuity."""
+        self.metrics.incr("dropped_crash")
         self.metrics.incr("dropped")
         if self.linked(src, dst) or self.linked(dst, src):
             self._unlink(src, dst)
             self._schedule_failure_notice(src, dst)
+
+    def _drop_lost(self, n: int) -> None:
+        """Count ``n`` messages dropped by the per-link loss model."""
+        self.metrics.incr("dropped_loss", n)
+        self.metrics.incr("dropped", n)
+
+    def _mask_lost(self, targets: list[NodeId]) -> list[NodeId]:
+        """Flip one loss coin per destination, in destination order, and
+        return the surviving sublist.  Only called when loss is enabled."""
+        rand = self._loss_rng.random
+        rate = self._loss_rate
+        kept = [dst for dst in targets if rand() >= rate]
+        lost = len(targets) - len(kept)
+        if lost:
+            self._drop_lost(lost)
+        return kept
 
     # ------------------------------------------------------------------
     # Measurements available to protocol logic

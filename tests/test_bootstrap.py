@@ -254,3 +254,130 @@ class TestGuards:
                 8, lambda network, nid: ProtocolNode(network, nid),
                 bootstrap="synthesized",
             )
+
+
+# ----------------------------------------------------------------------
+# Topology classes (DESIGN.md §14): every builder in TOPOLOGY_BUILDERS
+# must stay deterministic, cap-clamped, and connected — the invariants
+# that make the classes interchangeable under one HyParView config.
+# ----------------------------------------------------------------------
+from hypothesis import HealthCheck, example, given, settings
+from hypothesis import strategies as st
+
+from repro.config import HyParViewConfig as _HPV
+from repro.experiments.bootstrap import TOPOLOGY_BUILDERS
+
+
+def _csr_adjacency(topo) -> list[set[int]]:
+    return [
+        set(topo.neighbors[topo.offsets[i] : topo.offsets[i + 1]])
+        for i in range(topo.n)
+    ]
+
+
+class TestTopologyClasses:
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        n=st.integers(min_value=16, max_value=512),
+        degree=st.integers(min_value=4, max_value=7),
+        seed=st.integers(min_value=0, max_value=2**16),
+        topology=st.sampled_from(sorted(TOPOLOGY_BUILDERS)),
+    )
+    @example(n=512, degree=7, seed=1, topology="powerlaw")
+    @example(n=512, degree=7, seed=1, topology="smallworld")
+    @example(n=512, degree=7, seed=1, topology="uniform")
+    @example(n=16, degree=4, seed=0, topology="smallworld")
+    def test_deterministic_capped_connected(self, n, degree, seed, topology):
+        cap = _HPV().max_active  # 8: every degree draw fits under it
+        build = TOPOLOGY_BUILDERS[topology]
+        topo = build(n, degree=degree, max_degree=cap, rng=derive(seed, "topo"))
+        again = build(n, degree=degree, max_degree=cap, rng=derive(seed, "topo"))
+        # Deterministic: same seed, same flat arrays, bit for bit.
+        assert topo.offsets == again.offsets
+        assert topo.neighbors == again.neighbors
+        assert topo.degrees == again.degrees
+        # Internally consistent CSR.
+        assert len(topo.offsets) == n + 1
+        assert list(topo.degrees) == [
+            topo.offsets[i + 1] - topo.offsets[i] for i in range(n)
+        ]
+        adj = _csr_adjacency(topo)
+        # No self-loops or duplicate row entries; symmetric edges.
+        for i, peers in enumerate(adj):
+            assert i not in peers
+            assert len(peers) == topo.degrees[i]
+            assert all(i in adj[j] for j in peers)
+        # Cap-clamped above, ring floor below.
+        assert max(topo.degrees) <= cap
+        assert min(topo.degrees) >= 2
+        # Connected (BFS from node 0 reaches everyone).
+        seen = {0}
+        frontier = [0]
+        while frontier:
+            frontier = [
+                j for i in frontier for j in adj[i] if j not in seen and not seen.add(j)
+            ]
+        assert len(seen) == n
+
+    def test_powerlaw_grows_a_heavier_tail_than_uniform(self):
+        # The cap clamps hubs, so compare how much of the population the
+        # cap-saturated nodes absorb: preferential attachment piles far
+        # more nodes onto the cap than uniform chords do.
+        import statistics
+
+        cap = _HPV().max_active
+        at_cap, spread = {}, {}
+        for name in ("uniform", "powerlaw"):
+            topo = TOPOLOGY_BUILDERS[name](
+                512, degree=4, max_degree=cap, rng=derive(5, "tail")
+            )
+            at_cap[name] = sum(1 for d in topo.degrees if d >= cap)
+            spread[name] = statistics.pvariance(topo.degrees)
+        assert at_cap["powerlaw"] > 2 * at_cap["uniform"]
+        assert spread["powerlaw"] > 1.5 * spread["uniform"]
+
+    @pytest.mark.parametrize("topology", sorted(TOPOLOGY_BUILDERS))
+    def test_checkpoint_round_trip(self, topology, tmp_path):
+        # A synthesized non-uniform overlay checkpoints and restores view
+        # for view — the shape survives the id remap.
+        path = tmp_path / "overlay.json"
+        bed = _Testbed(seed=41)
+        bed.populate(64, brisa_factory(), bootstrap="synthesized",
+                     topology=topology, validate=True)
+        bed.save_overlay(path)
+        restored = _Testbed(seed=77)
+        restored.populate(64, brisa_factory(), bootstrap=str(path))
+        assert_valid_overlay(restored.nodes)
+        for orig, fresh in zip(bed.nodes, restored.nodes):
+            assert set(orig.active) == set(fresh.active)
+            assert orig.passive == fresh.passive
+
+    def test_checkpoint_restore_rejects_topology_request(self, tmp_path):
+        # A checkpoint already fixes the overlay shape; silently ignoring
+        # --topology would report results for the wrong graph class.
+        path = tmp_path / "overlay.json"
+        bed = _Testbed(seed=42)
+        bed.populate(16, brisa_factory(), bootstrap="synthesized")
+        bed.save_overlay(path)
+        other = _Testbed(seed=43)
+        with pytest.raises(ValueError, match="checkpoint"):
+            other.populate(16, brisa_factory(), bootstrap=str(path),
+                           topology="powerlaw")
+
+    def test_simulated_ramp_rejects_topology_request(self):
+        bed = _Testbed(seed=44)
+        with pytest.raises(ValueError, match="topology"):
+            bed.populate(8, brisa_factory(), bootstrap="simulated",
+                         topology="smallworld")
+
+    @pytest.mark.parametrize("topology", ["powerlaw", "smallworld"])
+    def test_dissemination_over_nonuniform_overlay(self, topology):
+        bed = _Testbed(seed=45)
+        bed.populate(96, brisa_factory(), bootstrap="synthesized",
+                     topology=topology, validate=True)
+        bed.stop_shuffles()
+        result = bed.run_stream(bed.choose_source(), StreamConfig(count=10, rate=10.0))
+        assert result.delivered_fraction() == 1.0
+        ok, reason = result.structure_ok()
+        assert ok, reason

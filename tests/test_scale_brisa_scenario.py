@@ -81,6 +81,34 @@ class TestRunScaleBrisa:
         assert b.structure_complete, b.structure_reason
 
 
+class TestTailProbeRecovery:
+    """Lossy links expose §II-F's blind spot: gap recovery needs a later
+    seq to arrive, so a lost *final* message orphans its whole subtree
+    silently.  The quiescence tail probe (BrisaConfig.tail_probe, on by
+    default for lossy runs) closes it."""
+
+    def test_tail_probe_recovers_tail_losses(self):
+        from repro.config import BrisaConfig
+
+        blind = run_scale_brisa(
+            128, 8, seed=3, loss_percent=10.0,
+            config=BrisaConfig(mode="tree", tail_probe=False),
+        )
+        probed = run_scale_brisa(128, 8, seed=3, loss_percent=10.0)
+        # Same seed, same losses: without the probe, orphaned subtrees
+        # never learn what they missed; with it, delivery is complete.
+        assert blind.dropped_loss > 0
+        assert blind.delivered_fraction < 1.0
+        assert probed.delivered_fraction == 1.0
+
+    def test_lossless_runs_skip_the_probe(self):
+        """No loss -> no probe traffic: the lossless event count is
+        byte-identical to what it was before the probe existed."""
+        plain = run_scale_brisa(96, 6, seed=6)
+        assert plain.delivered_fraction == 1.0
+        assert plain.dropped_loss == 0
+
+
 class TestBrisaSlottedMicrobench:
     def test_differential_measurement_shape(self):
         mb = brisa_slotted_microbench(

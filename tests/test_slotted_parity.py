@@ -12,6 +12,8 @@ divergence is a kernel bug by definition.
 
 from __future__ import annotations
 
+import dataclasses
+
 import pytest
 from hypothesis import HealthCheck, example, given, settings
 from hypothesis import strategies as st
@@ -32,7 +34,8 @@ LATENCIES = {
 
 
 def flood_run(kernel: str, n: int, messages: int, seed: int, latency_kind: str,
-              streams: int = 1):
+              streams: int = 1, topology: str = "uniform",
+              loss_percent: float = 0.0):
     """One recorded flood run; returns (sim, net, nodes).
 
     ``streams`` > 1 drives K concurrent publishers spread over the
@@ -47,6 +50,8 @@ def flood_run(kernel: str, n: int, messages: int, seed: int, latency_kind: str,
         latency=LATENCIES[latency_kind](seed),
         record_deliveries=True,
         kernel=kernel,
+        topology=topology,
+        loss_percent=loss_percent,
     )
     start = sim.now
     for stream, source in enumerate(spread_sources(nodes, streams)):
@@ -62,6 +67,7 @@ def snapshot(sim, net, nodes) -> dict:
     return {
         "now": sim.now,
         "events": sim.events_processed,
+        "peak_pending": sim.peak_pending,
         "deliveries": {
             key: {
                 nid: (rec.time, rec.sender, rec.hops, rec.path_delay)
@@ -88,6 +94,8 @@ def snapshot(sim, net, nodes) -> dict:
             for stream, shard in m.streams.items()
         },
         "dropped": m.counters.get("dropped", 0),
+        "dropped_crash": m.counters.get("dropped_crash", 0),
+        "dropped_loss": m.counters.get("dropped_loss", 0),
     }
 
 
@@ -255,10 +263,11 @@ def test_unknown_kernel_rejected():
 # The vectorized kernel consumes whole waves through the engine's
 # batch-drain tier and executes them as masked numpy array ops; its
 # contract is the same draw-for-draw equivalence the slotted kernel
-# pins against the object path.  One telemetry field is legitimately
-# different and therefore excluded: ``peak_pending`` — batch claiming
-# pops a wave's events off the heap before scheduling its forwards, so
-# the heap's high-water mark is lower than under per-event dispatch.
+# pins against the object path — including ``peak_pending``: batch
+# claiming pops a wave's events off the heap before scheduling its
+# forwards, so the engine carries a ``pending_bias`` for the claimed-
+# but-unprocessed remainder and the kernel replays the per-event push
+# sequence over the wave to land the exact per-event high-water mark.
 
 try:
     import numpy as _np
@@ -269,11 +278,10 @@ requires_numpy = pytest.mark.skipif(
     _np is None, reason="the vectorized kernel needs numpy"
 )
 
-#: Scalar-result fields every kernel must agree on (peak_pending is
-#: telemetry of the dispatch mechanics, see above).
+#: Scalar-result fields every kernel must agree on.
 VECTOR_PARITY_FIELDS = (
     "deliveries", "receptions", "events", "sim_time", "delivered_fraction",
-    "kills", "joins", "survivors",
+    "kills", "joins", "survivors", "peak_pending",
 )
 
 
@@ -444,7 +452,8 @@ BRISA_CONFIGS = {
 
 def brisa_run(kernel: str, n: int, messages: int, seed: int, config_kind: str,
               latency_kind: str = "zero-cost", streams: int = 1,
-              churn: bool = False):
+              churn: bool = False, loss_percent: float = 0.0,
+              tail_probe: bool = False):
     """One recorded BRISA run; returns (testbed, sources).
 
     Mirrors ``run_scale_brisa``'s synthesized-bootstrap construction but
@@ -452,10 +461,13 @@ def brisa_run(kernel: str, n: int, messages: int, seed: int, config_kind: str,
     comparable.  ``churn=True`` schedules three mid-stream crashes plus
     two joiners (slot release + recycling on the slotted side)."""
     cfg = BRISA_CONFIGS[config_kind]()
+    if tail_probe:
+        cfg = dataclasses.replace(cfg, tail_probe=True)
     bed = _Testbed(
         seed=seed,
         latency=LATENCIES[latency_kind](seed),
         record_deliveries=True,
+        loss_percent=loss_percent,
     )
     slot_kernel = None
     if kernel == "slotted":
@@ -634,6 +646,26 @@ def test_brisa_kernels_agree_under_churn():
     assert kernel.capacity == 96  # joiners reused released slots
 
 
+@pytest.mark.parametrize("config_kind", ["tree-path", "dag-depth"])
+def test_brisa_kernels_agree_under_loss_with_tail_probe(config_kind):
+    """Lossy links + the quiescence tail probe: the probe timer arms in
+    the shared ``stream_state`` materialization and reads only fields the
+    slotted fast path keeps current, so both kernels must stay on the
+    same simulation — probes, retransmit serves and recovered-data
+    cascades included."""
+    runs = {
+        kernel: brisa_run(kernel, 96, 4, seed=9, config_kind=config_kind,
+                          loss_percent=15.0, tail_probe=True)
+        for kernel in ("object", "slotted")
+    }
+    (bed_o, _), (bed_s, _) = runs["object"], runs["slotted"]
+    snap_o = snapshot(bed_o.sim, bed_o.network, bed_o.alive_nodes())
+    assert snap_o == snapshot(bed_s.sim, bed_s.network, bed_s.alive_nodes())
+    assert snap_o["dropped_loss"] > 0
+    assert brisa_structure_snapshot(bed_o, 1) == brisa_structure_snapshot(bed_s, 1)
+    assert_brisa_arrays_consistent(bed_s, 1)
+
+
 def test_brisa_kernel_rejects_predictor_mismatch():
     """One kernel serves one rule table: attaching a node whose config
     selects a different predictor is a hard error, not silent skew."""
@@ -654,3 +686,155 @@ def test_brisa_kernel_rejects_predictor_mismatch():
 def test_unknown_brisa_kernel_rejected():
     with pytest.raises(ValueError):
         run_scale_brisa(16, 1, kernel="vectorized")
+
+
+# ======================================================================
+# Lossy links + non-uniform topologies (DESIGN.md §14)
+# ======================================================================
+#
+# The loss model draws one coin per (message, destination) from its own
+# ``derive(seed, "loss")`` stream, *after* the latency sample for that
+# destination — so every kernel consumes the latency, protocol and loss
+# streams in the identical order and the whole parity surface (delivery
+# records, drop counters, schedules, peak_pending) must keep holding.
+# The vectorized path masks lost destinations out of the wave arrays
+# before scheduling; a fully-lost fan-out schedules no event at all on
+# any kernel.
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(
+    n=st.integers(min_value=16, max_value=256),
+    messages=st.integers(min_value=1, max_value=3),
+    seed=st.integers(min_value=0, max_value=2**20),
+    latency_kind=st.sampled_from(sorted(LATENCIES)),
+    loss=st.floats(min_value=0.5, max_value=30.0),
+    topology=st.sampled_from(["uniform", "powerlaw", "smallworld"]),
+)
+@example(n=128, messages=2, seed=1, latency_kind="zero-cost", loss=2.0,
+         topology="powerlaw")
+@example(n=128, messages=2, seed=1, latency_kind="occupancy", loss=10.0,
+         topology="smallworld")
+@example(n=64, messages=3, seed=42, latency_kind="zero-cost", loss=30.0,
+         topology="uniform")
+def test_slotted_kernel_matches_object_kernel_under_loss(
+    n, messages, seed, latency_kind, loss, topology
+):
+    sim_o, net_o, nodes_o = flood_run(
+        "object", n, messages, seed, latency_kind,
+        topology=topology, loss_percent=loss,
+    )
+    sim_s, net_s, nodes_s = flood_run(
+        "slotted", n, messages, seed, latency_kind,
+        topology=topology, loss_percent=loss,
+    )
+    snap = snapshot(sim_o, net_o, nodes_o)
+    assert snap == snapshot(sim_s, net_s, nodes_s)
+    if loss >= 10.0 and n >= 64:
+        assert snap["dropped_loss"] > 0  # the coin actually flipped
+    assert snap["dropped"] == snap["dropped_loss"] + snap["dropped_crash"]
+    assert_kernel_arrays_match_metrics(net_s, nodes_s, latency_kind)
+
+
+@requires_numpy
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(
+    n=st.integers(min_value=16, max_value=256),
+    messages=st.integers(min_value=1, max_value=3),
+    seed=st.integers(min_value=0, max_value=2**20),
+    latency_kind=st.sampled_from(sorted(LATENCIES)),
+    loss=st.floats(min_value=0.5, max_value=30.0),
+    topology=st.sampled_from(["uniform", "powerlaw", "smallworld"]),
+)
+@example(n=128, messages=2, seed=1, latency_kind="zero-cost", loss=2.0,
+         topology="powerlaw")
+@example(n=128, messages=2, seed=1, latency_kind="occupancy", loss=10.0,
+         topology="smallworld")
+@example(n=64, messages=3, seed=42, latency_kind="zero-cost", loss=30.0,
+         topology="uniform")
+def test_vectorized_kernel_matches_object_kernel_under_loss(
+    n, messages, seed, latency_kind, loss, topology
+):
+    """The wave-array masking must keep the batched path on the object
+    path's exact simulation: same lost (message, destination) pairs,
+    same surviving schedules (a fully-lost fan-out schedules nothing),
+    same drop counters, same peak_pending."""
+    sim_o, net_o, nodes_o = flood_run(
+        "object", n, messages, seed, latency_kind,
+        topology=topology, loss_percent=loss,
+    )
+    sim_v, net_v, nodes_v = flood_run(
+        "vectorized", n, messages, seed, latency_kind,
+        topology=topology, loss_percent=loss,
+    )
+    snap = snapshot(sim_o, net_o, nodes_o)
+    assert snap == snapshot(sim_v, net_v, nodes_v)
+    if loss >= 10.0 and n >= 64:
+        assert snap["dropped_loss"] > 0  # the coin actually flipped
+    assert snap["dropped"] == snap["dropped_loss"] + snap["dropped_crash"]
+    assert_kernel_arrays_match_metrics(net_v, nodes_v, latency_kind)
+
+
+def test_loss_does_not_perturb_latency_or_protocol_draws():
+    """RNG-stream isolation: the loss coin comes from its own
+    ``derive(seed, "loss")`` stream and is flipped *after* the latency
+    sample for each destination, so an identical send sequence run with
+    loss on drops some arrivals but never moves the surviving ones."""
+    from repro.baselines.flood import FloodData
+    from repro.sim.engine import Simulator
+    from repro.sim.latency import ClusterLatency
+    from repro.sim.monitor import Metrics
+    from repro.sim.network import Network
+
+    def run(loss: float):
+        sim = Simulator(seed=9)
+        net = Network(
+            sim, ClusterLatency(seed=9), Metrics(record_deliveries=False),
+            loss_percent=loss,
+        )
+        arrivals: dict = {}
+
+        class Recorder:
+            __slots__ = ("node_id", "alive")
+
+            def __init__(self, nid):
+                self.node_id = nid
+                self.alive = True
+
+            def handle_message(self, src, msg):
+                arrivals[(self.node_id, msg.seq)] = sim.now
+
+        for i in range(33):
+            net.nodes[i] = Recorder(i)
+        for seq in range(4):
+            msg = FloodData(0, seq, 64)
+            sim.call_at(seq * 0.1, net.send_many, 0, list(range(1, 33)), msg)
+        sim.run_until_idle()
+        return arrivals, net.metrics.counters.get("dropped_loss", 0)
+
+    base, dropped_base = run(0.0)
+    lossy, dropped = run(40.0)
+    assert dropped_base == 0 and dropped > 0
+    assert set(lossy) < set(base)  # strictly fewer arrivals...
+    for key, t in lossy.items():
+        assert base[key] == t  # ...at byte-identical times
+
+
+def test_loss_rate_validated():
+    from repro.sim.engine import Simulator
+    from repro.sim.monitor import Metrics
+    from repro.sim.network import Network
+
+    for bad in (-1.0, 100.0, 250.0):
+        with pytest.raises(ValueError):
+            Network(
+                Simulator(seed=1), ConstantLatency(0.001, seed=1), Metrics(),
+                loss_percent=bad,
+            )
